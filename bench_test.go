@@ -1,0 +1,147 @@
+package fscoherence
+
+import "testing"
+
+// One benchmark per table/figure of the paper's evaluation (see DESIGN.md's
+// experiment index). Each runs the corresponding experiment once per
+// iteration and reports the headline number the paper quotes as a custom
+// metric, so `go test -bench` regenerates the full evaluation:
+//
+//	go test -bench . -benchmem
+//
+// benchScale trades precision for time; cmd/fsexp runs the same experiments
+// at full scale.
+const benchScale = 0.5
+
+func reportGeo(b *testing.B, t *Table, col, metric string) {
+	b.Helper()
+	if v, ok := t.GeoMean[col]; ok {
+		b.ReportMetric(v, metric)
+	}
+}
+
+func BenchmarkFig02ManualFixSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := Fig2ManualFix(benchScale)
+		reportGeo(b, t, "manual", "geomean-speedup")
+	}
+}
+
+func BenchmarkFig13L1DMissFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := Fig13MissFractions(benchScale)
+		reportGeo(b, t, "miss-fraction", "mean-miss-fraction")
+	}
+}
+
+func BenchmarkFig14aSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := Fig14Speedup(benchScale)
+		reportGeo(b, t, "fslite", "fslite-geomean-speedup")
+		reportGeo(b, t, "fsdetect", "fsdetect-geomean-speedup")
+	}
+}
+
+func BenchmarkFig14bEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := Fig14Energy(benchScale)
+		reportGeo(b, t, "fslite", "fslite-geomean-energy")
+	}
+}
+
+func BenchmarkFig15NoFalseSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := Fig15NoFalseSharing(benchScale)
+		reportGeo(b, t, "speedup", "fslite-geomean-speedup")
+		reportGeo(b, t, "energy", "fslite-geomean-energy")
+	}
+}
+
+func BenchmarkFig16TauPSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := Fig16TauP(benchScale)
+		reportGeo(b, t, "tauP=32", "tau32-geomean")
+		reportGeo(b, t, "tauP=64", "tau64-geomean")
+	}
+}
+
+func BenchmarkFig17HuronComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := Fig17Huron(benchScale)
+		reportGeo(b, t, "manual", "manual-geomean")
+		reportGeo(b, t, "huron", "huron-geomean")
+		reportGeo(b, t, "fslite", "fslite-geomean")
+	}
+}
+
+func BenchmarkNetworkTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := NetworkTraffic(benchScale)
+		reportGeo(b, t, "requests", "request-ratio")
+		reportGeo(b, t, "bytes", "byte-ratio")
+	}
+}
+
+func BenchmarkSensitivitySAMSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := SAMSizeSensitivity(benchScale)
+		reportGeo(b, t, "speedup-256", "sam256-speedup")
+	}
+}
+
+func BenchmarkSensitivityReaderOpt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := ReaderOptStudy(benchScale)
+		reportGeo(b, t, "speedup", "readeropt-speedup")
+	}
+}
+
+func BenchmarkSensitivityGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := GranularityStudy(benchScale)
+		reportGeo(b, t, "grain=2", "grain2-speedup")
+		reportGeo(b, t, "grain=4", "grain4-speedup")
+	}
+}
+
+func BenchmarkSensitivityISOStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := ISOStorageStudy(benchScale)
+		reportGeo(b, t, "speedup", "fslite32K-vs-base128K")
+	}
+}
+
+func BenchmarkSensitivityLargeL1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := LargeL1Study(benchScale)
+		reportGeo(b, t, "speedup", "fslite-geomean-512K")
+	}
+}
+
+func BenchmarkSensitivityOOO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := OOOStudy(benchScale)
+		reportGeo(b, t, "ooo-vs-inorder", "ooo-baseline-speedup")
+		reportGeo(b, t, "fslite-on-ooo", "fslite-on-ooo-speedup")
+	}
+}
+
+func BenchmarkTableVRunTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TableVRunTimes(benchScale)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (cycles/sec) on
+// the heaviest workload — a harness-health metric, not a paper figure.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		r, err := Run("RC", Options{Protocol: Baseline, Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += r.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}

@@ -1,0 +1,123 @@
+// Command fsexp regenerates the paper's tables and figures (see DESIGN.md
+// for the experiment index). With no arguments it runs the three primary
+// experiments (Fig 2, Fig 14, Fig 15); -all runs everything; -exp selects a
+// single experiment by ID.
+//
+// Usage:
+//
+//	fsexp                 # primary results
+//	fsexp -all            # every experiment
+//	fsexp -exp fig17      # one experiment
+//	fsexp -all -markdown  # emit EXPERIMENTS.md-style markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fscoherence"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		exp      = flag.String("exp", "", "run a single experiment by ID (fig2, fig13, ...)")
+		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		csv      = flag.Bool("csv", false, "emit CSV (artifact format)")
+		outDir   = flag.String("out", "", "also write one CSV per experiment into this directory")
+		listExp  = flag.Bool("list", false, "list experiment IDs")
+		table2   = flag.Bool("config", false, "print the simulated system configuration (Table II)")
+		table3   = flag.Bool("benchmarks", false, "print the benchmark list (Table III)")
+	)
+	flag.Parse()
+
+	if *listExp {
+		for _, e := range fscoherence.Experiments {
+			fmt.Printf("%-10s %s\n", e.ID, e.Note)
+		}
+		return
+	}
+	if *table2 {
+		printConfig()
+		return
+	}
+	if *table3 {
+		printBenchmarks()
+		return
+	}
+
+	selected := map[string]bool{}
+	switch {
+	case *exp != "":
+		selected[*exp] = true
+	case *all:
+		for _, e := range fscoherence.Experiments {
+			selected[e.ID] = true
+		}
+	default:
+		selected["fig2"], selected["fig14a"], selected["fig14b"], selected["fig15"] = true, true, true, true
+	}
+
+	ran := 0
+	for _, e := range fscoherence.Experiments {
+		if !selected[e.ID] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		t := e.Gen(*scale)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "fsexp:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "fsexp:", err)
+				os.Exit(1)
+			}
+		}
+		switch {
+		case *csv:
+			fmt.Print(t.CSV())
+		case *markdown:
+			fmt.Println(t.Markdown())
+		default:
+			fmt.Println(t.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "fsexp: no experiment matched %q (use -list)\n", *exp)
+		os.Exit(1)
+	}
+}
+
+func printConfig() {
+	fmt.Println("Table II — simulated system configuration")
+	fmt.Println("  cores            8 (in-order; 8-wide OOO for the -exp ooo study)")
+	fmt.Println("  L1D              32 KB per core, 8-way, 64 B lines, 3-cycle data access")
+	fmt.Println("  LLC              8 slices, 16-way, inclusive, 2-cycle tag + 8-cycle data")
+	fmt.Println("  interconnect     12-cycle base latency, per-class virtual-channel FIFO")
+	fmt.Println("  memory           120-cycle access latency")
+	fmt.Println("  PAM table        per-core, 1 entry per L1D line, R/W bit per byte + SEND_MD")
+	fmt.Println("  SAM table        128 entries per slice, 16-way LRU, per-byte last writer + readers + TS")
+	fmt.Println("  directory ext    7-bit FC and IC, PMMC, 2-bit hysteresis counter")
+	fmt.Println("  conflict check   2 cycles per PRV check")
+	fmt.Println("  thresholds       tauP = tauR1 = 16, tauR2 = 127")
+}
+
+func printBenchmarks() {
+	fmt.Println("Table III — benchmark applications")
+	for _, b := range fscoherence.Benchmarks() {
+		fs := "no false sharing"
+		if b.FalseSharing {
+			fs = "false sharing"
+		}
+		fmt.Printf("  %-5s %-24s %-14s %d threads, %s\n", b.Name, b.Full, b.Suite, b.Threads, fs)
+	}
+}

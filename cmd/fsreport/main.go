@@ -1,0 +1,127 @@
+// Command fsreport runs FSDetect on a workload and prints a detailed
+// false-sharing report: the detected lines, the cores involved, episode
+// counts and the supporting protocol statistics — the "detector as a
+// diagnostics tool" use case of §II.
+//
+// Usage:
+//
+//	fsreport -bench LR
+//	fsreport -bench LR -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"fscoherence"
+)
+
+// report is the JSON output schema.
+type report struct {
+	Benchmark      string      `json:"benchmark"`
+	Cycles         uint64      `json:"cycles"`
+	OverheadPct    float64     `json:"detection_overhead_pct"`
+	L1MissFraction float64     `json:"l1d_miss_fraction"`
+	Invalidations  uint64      `json:"invalidations"`
+	Interventions  uint64      `json:"interventions"`
+	MetadataMsgs   uint64      `json:"metadata_messages"`
+	PhantomMsgs    uint64      `json:"phantom_messages"`
+	Lines          []lineEntry `json:"falsely_shared_lines"`
+	Contended      []lineEntry `json:"contended_lines"`
+}
+
+type lineEntry struct {
+	Address    string `json:"address"`
+	Writers    []int  `json:"writers"`
+	Readers    []int  `json:"readers"`
+	Episodes   int    `json:"episodes"`
+	FirstCycle uint64 `json:"first_detected_cycle"`
+}
+
+func main() {
+	var (
+		bench   = flag.String("bench", "RC", "benchmark code (fsrun -list shows all)")
+		scale   = flag.Float64("scale", 1.0, "workload size multiplier")
+		asJSON  = flag.Bool("json", false, "emit machine-readable JSON")
+		variant = flag.String("variant", "default", "default | padded | huron")
+	)
+	flag.Parse()
+
+	v := fscoherence.LayoutDefault
+	switch *variant {
+	case "padded":
+		v = fscoherence.LayoutPadded
+	case "huron":
+		v = fscoherence.LayoutHuron
+	}
+
+	base, err := fscoherence.Run(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+	det, err := fscoherence.Run(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		Benchmark:      *bench,
+		Cycles:         det.Cycles,
+		OverheadPct:    100 * (float64(det.Cycles)/float64(base.Cycles) - 1),
+		L1MissFraction: det.MissFraction,
+		Invalidations:  det.Stats.Get("dir.invalidations"),
+		Interventions:  det.Stats.Get("dir.interventions"),
+		MetadataMsgs:   det.Stats.Get("fs.metadata_messages"),
+		PhantomMsgs:    det.Stats.Get("fs.phantom_messages"),
+	}
+	for _, d := range det.Detections {
+		rep.Lines = append(rep.Lines, lineEntry{
+			Address: d.Addr.String(), Writers: d.Writers, Readers: d.Readers,
+			Episodes: d.Episodes, FirstCycle: d.Cycle,
+		})
+	}
+	for _, d := range det.Contended {
+		rep.Contended = append(rep.Contended, lineEntry{
+			Address: d.Addr.String(), Writers: d.Writers, Readers: d.Readers,
+			Episodes: d.Episodes, FirstCycle: d.Cycle,
+		})
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("FSDetect report for %s (%s layout)\n", rep.Benchmark, *variant)
+	fmt.Printf("  run length          %d cycles (detection overhead %.2f%%)\n", rep.Cycles, rep.OverheadPct)
+	fmt.Printf("  L1D miss fraction   %.2f%%\n", 100*rep.L1MissFraction)
+	fmt.Printf("  invalidations       %d, interventions %d\n", rep.Invalidations, rep.Interventions)
+	fmt.Printf("  metadata messages   %d (%d phantom)\n", rep.MetadataMsgs, rep.PhantomMsgs)
+	if len(rep.Lines) == 0 {
+		fmt.Println("\nno harmful false sharing detected")
+	} else {
+		fmt.Printf("\n%d falsely shared line(s):\n", len(rep.Lines))
+		for _, l := range rep.Lines {
+			fmt.Printf("  %-12s writers=%v readers=%v episodes=%d first-at=%d\n",
+				l.Address, l.Writers, l.Readers, l.Episodes, l.FirstCycle)
+		}
+	}
+	if len(rep.Contended) > 0 {
+		fmt.Printf("\n%d contended truly-shared line(s) (§VII — likely synchronization variables):\n", len(rep.Contended))
+		for _, l := range rep.Contended {
+			fmt.Printf("  %-12s writers=%v readers=%v episodes=%d first-at=%d\n",
+				l.Address, l.Writers, l.Readers, l.Episodes, l.FirstCycle)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsreport:", err)
+	os.Exit(1)
+}

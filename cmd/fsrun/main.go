@@ -1,0 +1,136 @@
+// Command fsrun executes one workload model under a chosen protocol and
+// prints cycle counts, cache statistics, FSDetect's report and the modelled
+// energy. With -compare it runs Baseline, FSDetect and FSLite back to back
+// and prints speedups.
+//
+// Usage:
+//
+//	fsrun -bench RC -protocol fslite
+//	fsrun -bench RC -compare
+//	fsrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fscoherence"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "RC", "benchmark code (see -list)")
+		protocol = flag.String("protocol", "baseline", "baseline | fsdetect | fslite")
+		variant  = flag.String("variant", "default", "default | padded | huron")
+		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
+		compare  = flag.Bool("compare", false, "run all three protocols and print speedups")
+		verify   = flag.Bool("verify", false, "enable oracle and SWMR verification")
+		list     = flag.Bool("list", false, "list available benchmarks")
+		full     = flag.Bool("stats", false, "dump all counters")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-5s %-22s %-12s %-8s %s\n", "CODE", "NAME", "SUITE", "THREADS", "FALSE SHARING")
+		for _, b := range fscoherence.Benchmarks() {
+			fs := "no"
+			if b.FalseSharing {
+				fs = "yes"
+			}
+			fmt.Printf("%-5s %-22s %-12s %-8d %s\n", b.Name, b.Full, b.Suite, b.Threads, fs)
+		}
+		return
+	}
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare {
+		base := run(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale, Verify: *verify})
+		det := run(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale, Verify: *verify})
+		fsl := run(*bench, fscoherence.Options{Protocol: fscoherence.FSLite, Variant: v, Scale: *scale, Verify: *verify})
+		fmt.Printf("benchmark %s (%s layout, scale %.2f)\n\n", *bench, v, *scale)
+		fmt.Printf("%-10s %12s %10s %10s %12s %14s\n", "PROTOCOL", "CYCLES", "SPEEDUP", "L1D MISS", "NET MSGS", "ENERGY (norm)")
+		for _, r := range []*fscoherence.Result{base, det, fsl} {
+			fmt.Printf("%-10v %12d %10.3f %9.2f%% %12d %14.3f\n",
+				r.Protocol, r.Cycles, r.Speedup(base), 100*r.MissFraction,
+				r.Stats.Get("net.messages"), r.NormalizedEnergy(base))
+		}
+		printDetections(fsl)
+		return
+	}
+
+	p, err := parseProtocol(*protocol)
+	if err != nil {
+		fatal(err)
+	}
+	r := run(*bench, fscoherence.Options{Protocol: p, Variant: v, Scale: *scale, Verify: *verify})
+	fmt.Printf("benchmark %s under %v (%s layout)\n", *bench, p, v)
+	fmt.Printf("cycles          %d\n", r.Cycles)
+	fmt.Printf("l1d accesses    %d\n", r.Stats.Get("l1d.accesses"))
+	fmt.Printf("l1d miss        %.2f%%\n", 100*r.MissFraction)
+	fmt.Printf("net messages    %d (%d bytes)\n", r.Stats.Get("net.messages"), r.Stats.Get("net.bytes"))
+	fmt.Printf("invalidations   %d, interventions %d\n", r.Stats.Get("dir.invalidations"), r.Stats.Get("dir.interventions"))
+	fmt.Printf("privatizations  %d, terminations %d\n", r.Stats.Get("fs.privatizations"), r.Stats.Get("fs.terminations"))
+	fmt.Printf("energy          %.0f\n", r.Energy)
+	printDetections(r)
+	if *full {
+		fmt.Println("\ncounters:")
+		fmt.Print(r.Stats.String())
+	}
+}
+
+func run(bench string, opt fscoherence.Options) *fscoherence.Result {
+	r, err := fscoherence.Run(bench, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if len(r.Violations) > 0 {
+		fatal(fmt.Errorf("verification failed: %s", strings.Join(r.Violations, "; ")))
+	}
+	return r
+}
+
+func printDetections(r *fscoherence.Result) {
+	if len(r.Detections) == 0 {
+		return
+	}
+	fmt.Printf("\ndetected falsely shared lines (%d):\n", len(r.Detections))
+	for _, d := range r.Detections {
+		fmt.Printf("  %v  episodes=%d writers=%v readers=%v (first at cycle %d)\n",
+			d.Addr, d.Episodes, d.Writers, d.Readers, d.Cycle)
+	}
+}
+
+func parseProtocol(s string) (fscoherence.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "mesi":
+		return fscoherence.Baseline, nil
+	case "fsdetect", "detect":
+		return fscoherence.FSDetect, nil
+	case "fslite", "lite":
+		return fscoherence.FSLite, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q", s)
+}
+
+func parseVariant(s string) (fscoherence.Variant, error) {
+	switch strings.ToLower(s) {
+	case "default", "":
+		return fscoherence.LayoutDefault, nil
+	case "padded", "manual":
+		return fscoherence.LayoutPadded, nil
+	case "huron":
+		return fscoherence.LayoutHuron, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsrun:", err)
+	os.Exit(1)
+}

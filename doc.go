@@ -1,0 +1,28 @@
+// Package fscoherence is a from-scratch reproduction of "Leveraging Cache
+// Coherence to Detect and Repair False Sharing On-the-fly" (Patel, Biswas,
+// Chaudhuri — MICRO 2024).
+//
+// It provides a deterministic, cycle-stepped multicore cache-hierarchy
+// simulator with a directory-based MESI baseline protocol and the paper's
+// two extensions:
+//
+//   - FSDetect: per-byte access metadata (PAM/SAM tables) plus per-block
+//     fetch/invalidation counters that identify harmful false sharing with
+//     negligible overhead (§IV).
+//   - FSLite: on-the-fly repair — falsely shared lines are privatized into a
+//     PRV state so each core writes its own bytes without coherence traffic,
+//     with byte-granular conflict checks and a precise byte-level merge when
+//     the privatized episode terminates (§V).
+//
+// The top-level API runs a named workload model (see internal/workload)
+// under a protocol and returns cycle counts, detection reports, traffic and
+// energy figures:
+//
+//	res, err := fscoherence.Run("RC", fscoherence.Options{Protocol: fscoherence.FSLite})
+//
+// The experiment harness in experiments.go regenerates every table and
+// figure of the paper's evaluation (see DESIGN.md for the index and
+// EXPERIMENTS.md for paper-vs-measured results); cmd/fsexp drives it from
+// the command line and bench_test.go exposes each experiment as a Go
+// benchmark.
+package fscoherence

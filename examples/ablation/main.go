@@ -1,0 +1,57 @@
+// Ablation: what each design ingredient of FSDetect/FSLite buys, measured on
+// an adversarial phased workload (the paper's §VI scenarios).
+//
+// The uPH microbenchmark initializes all slots from one thread (a short
+// write-write true-sharing episode) before a long falsely shared phase —
+// without the periodic metadata reset, the stale TS bit would block repair
+// forever. The sweep also shows the threshold trade-off and the coarse-grain
+// and reader-metadata SAM optimizations.
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fscoherence"
+)
+
+func main() {
+	base, err := fscoherence.Run("uPH", fscoherence.Options{Protocol: fscoherence.Baseline})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []struct {
+		label string
+		opt   fscoherence.Options
+	}{
+		{"FSLite defaults (tauP=16)", fscoherence.Options{Protocol: fscoherence.FSLite}},
+		{"tauP=4 (aggressive)", fscoherence.Options{Protocol: fscoherence.FSLite, TauP: 4}},
+		{"tauP=64 (conservative)", fscoherence.Options{Protocol: fscoherence.FSLite, TauP: 64}},
+		{"grain=4 bytes", fscoherence.Options{Protocol: fscoherence.FSLite, Granularity: 4}},
+		{"reader-opt SAM", fscoherence.Options{Protocol: fscoherence.FSLite, ReaderOpt: true}},
+		{"tiny SAM (16 entries)", fscoherence.Options{Protocol: fscoherence.FSLite, SAMEntries: 16}},
+	}
+
+	fmt.Printf("phased init-then-false-sharing workload, baseline %d cycles\n\n", base.Cycles)
+	fmt.Printf("%-28s %8s %8s %12s %12s\n", "CONFIG", "SPEEDUP", "PRIVAT.", "TERMINATIONS", "MD RESETS")
+	for _, c := range configs {
+		r, err := fscoherence.Run("uPH", c.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %7.2fx %8d %12d %12d\n",
+			c.label, r.Speedup(base),
+			r.Stats.Get("fs.privatizations"),
+			r.Stats.Get("fs.terminations"),
+			r.Stats.Get("fs.metadata_resets"))
+	}
+
+	fmt.Println("\nReading the table:")
+	fmt.Println("  - every configuration recovers the phased block (metadata reset, §VI);")
+	fmt.Println("  - a lower threshold privatizes sooner but reacts to noise;")
+	fmt.Println("  - coarse grains and the reader-opt SAM keep the speedup at a")
+	fmt.Println("    fraction of the metadata cost (Table II area).")
+}

@@ -1,0 +1,51 @@
+// Refcount: the repair-vs-manual-fix story on the paper's hardest case.
+//
+// The RC workload's four reference counters share one cache line. Three ways
+// to deal with it:
+//
+//  1. ship it as is (baseline MESI ping-pongs the line),
+//  2. pad the counters in the source (the "manual fix" — but the changed
+//     layout costs extra address arithmetic on every access), or
+//  3. let FSLite privatize the line on the fly (no source, no recompile).
+//
+// This example reproduces the paper's §VIII-B finding that the transparent
+// repair beats the manual fix (3.91x vs 3.06x in the paper).
+//
+//	go run ./examples/refcount
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fscoherence"
+)
+
+func run(name string, opt fscoherence.Options) *fscoherence.Result {
+	r, err := fscoherence.Run("RC", opt)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	return r
+}
+
+func main() {
+	base := run("baseline", fscoherence.Options{Protocol: fscoherence.Baseline})
+	manual := run("manual", fscoherence.Options{Protocol: fscoherence.Baseline, Variant: fscoherence.LayoutPadded})
+	fslite := run("fslite", fscoherence.Options{Protocol: fscoherence.FSLite})
+
+	show := func(label string, r *fscoherence.Result) {
+		fmt.Printf("%-22s %10d cycles  %6.2fx  %5.1f%% miss  %8d invs+interventions\n",
+			label, r.Cycles, r.Speedup(base), 100*r.MissFraction,
+			r.Stats.Get("dir.invalidations")+r.Stats.Get("dir.interventions"))
+	}
+	fmt.Println("Reference-Count: three ways to fix one cache line")
+	show("unmodified (baseline)", base)
+	show("manual padding", manual)
+	show("FSLite (on-the-fly)", fslite)
+
+	fmt.Printf("\nFSLite vs manual fix: %.2fx — the repair wins because it neither\n",
+		float64(manual.Cycles)/float64(fslite.Cycles))
+	fmt.Println("inflates the working set nor changes the data layout (no extra")
+	fmt.Println("address arithmetic), while eliminating the same coherence misses.")
+}

@@ -1,0 +1,3 @@
+module fscoherence
+
+go 1.22

@@ -1,0 +1,96 @@
+package core
+
+import "fmt"
+
+// AreaReport quantifies the storage added by FSDetect/FSLite, following the
+// paper's arithmetic (§IV and Table II): the PAM tables (129 bits per L1D
+// line for byte-grain tracking), the SAM tables (769 bits per entry for an
+// 8-core system, 577 with the §VI reader optimization), and the directory
+// entry extension (FC+IC+HC+PMMC = 19 bits for 8 cores). The paper reports a
+// total overhead below 5% of the cache hierarchy's capacity.
+type AreaReport struct {
+	// PAMEntryBits is the width of one PAM entry (2 bits per grain plus the
+	// SEND_MD bit).
+	PAMEntryBits int
+	// PAMBytesPerCore is the PAM table capacity per core.
+	PAMBytesPerCore int
+
+	// SAMEntryBits is the width of one SAM entry's payload (per-grain
+	// reader/writer metadata plus the TS bit).
+	SAMEntryBits int
+	// SAMTagBits is the per-entry tag + LRU overhead (48-bit physical
+	// addresses, as in the paper's sizing).
+	SAMTagBits int
+	// SAMBytesPerSlice is the SAM table capacity per LLC slice.
+	SAMBytesPerSlice int
+
+	// DirEntryExtensionBits is the per-directory-entry counter extension
+	// (7-bit FC, 7-bit IC, 2-bit HC, log2(cores)-bit PMMC).
+	DirEntryExtensionBits int
+	// DirExtensionBytesPerSlice is the extension capacity per LLC slice.
+	DirExtensionBytesPerSlice int
+
+	// TotalOverheadBytes is the added storage across the chip.
+	TotalOverheadBytes int
+	// HierarchyBytes is the unmodified L1D+LLC data capacity.
+	HierarchyBytes int
+	// OverheadFraction is TotalOverheadBytes / HierarchyBytes.
+	OverheadFraction float64
+}
+
+// Area computes the storage report for a system with the given cache
+// geometry (entries are cache lines).
+func (c Config) Area(l1EntriesPerCore, llcEntriesPerSlice, slices int) AreaReport {
+	c.validate()
+	grains := c.grains()
+
+	var r AreaReport
+	// PAM: one read and one write bit per grain, plus SEND_MD (fig. 5a).
+	r.PAMEntryBits = 2*grains + 1
+	r.PAMBytesPerCore = bitsToBytes(r.PAMEntryBits * l1EntriesPerCore)
+
+	// SAM (fig. 5b): per grain, the reader metadata plus a valid last
+	// writer (1 + log2(cores) bits); one TS bit per entry.
+	writerBits := 1 + log2ceil(c.Cores)
+	readerBits := c.Cores // full reader bit-vector
+	if c.ReaderOpt {
+		readerBits = log2ceil(c.Cores) + 2 // last reader + valid + overflow (§VI)
+	}
+	r.SAMEntryBits = (readerBits+writerBits)*grains + 1
+	// Tag overhead for a 48-bit physical address, set-associative geometry,
+	// plus LRU state (as counted in Table II's 12.7 KB).
+	sets := c.SAMEntries / c.SAMWays
+	r.SAMTagBits = 48 - log2ceil(c.BlockSize) - log2ceil(sets) + log2ceil(c.SAMWays)
+	r.SAMBytesPerSlice = bitsToBytes((r.SAMEntryBits + r.SAMTagBits) * c.SAMEntries)
+
+	// Directory extension (fig. 5c).
+	r.DirEntryExtensionBits = 7 + 7 + 2 + log2ceil(c.Cores)
+	r.DirExtensionBytesPerSlice = bitsToBytes(r.DirEntryExtensionBits * llcEntriesPerSlice)
+
+	r.TotalOverheadBytes = c.Cores*r.PAMBytesPerCore +
+		slices*(r.SAMBytesPerSlice+r.DirExtensionBytesPerSlice)
+	r.HierarchyBytes = (c.Cores*l1EntriesPerCore + slices*llcEntriesPerSlice) * c.BlockSize
+	r.OverheadFraction = float64(r.TotalOverheadBytes) / float64(r.HierarchyBytes)
+	return r
+}
+
+// String renders the report in Table II style.
+func (r AreaReport) String() string {
+	return fmt.Sprintf(
+		"PAM entry %d bits (%d B/core); SAM entry %d+%d bits (%d B/slice); "+
+			"dir extension %d bits/entry (%d B/slice); total %d B = %.2f%% of the hierarchy",
+		r.PAMEntryBits, r.PAMBytesPerCore,
+		r.SAMEntryBits, r.SAMTagBits, r.SAMBytesPerSlice,
+		r.DirEntryExtensionBits, r.DirExtensionBytesPerSlice,
+		r.TotalOverheadBytes, 100*r.OverheadFraction)
+}
+
+func bitsToBytes(bits int) int { return (bits + 7) / 8 }
+
+func log2ceil(v int) int {
+	n := 0
+	for (1 << n) < v {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fscoherence/internal/coherence"
+)
+
+// The paper gives exact storage arithmetic for an 8-core system with 64-byte
+// lines; the area model must reproduce it.
+
+func TestAreaMatchesPaperArithmetic(t *testing.T) {
+	cfg := DefaultConfig(8, 64, coherence.FSLite)
+	// Paper Table II geometry: 512-entry L1D (32 KB), 32768-entry LLC slice
+	// (2 MB), 8 slices.
+	r := cfg.Area(512, 32768, 8)
+
+	// §IV: "A 129-bit PAM table entry".
+	if r.PAMEntryBits != 129 {
+		t.Fatalf("PAM entry = %d bits, want 129", r.PAMEntryBits)
+	}
+	// §IV: "a SAM table entry is (8+1+log2 8)*64 + 1 = 769 bits".
+	if r.SAMEntryBits != 769 {
+		t.Fatalf("SAM entry = %d bits, want 769", r.SAMEntryBits)
+	}
+	// §IV: "each directory entry is extended by 19 bits".
+	if r.DirEntryExtensionBits != 19 {
+		t.Fatalf("dir extension = %d bits, want 19", r.DirEntryExtensionBits)
+	}
+	// Table II: PAM table 8 KB per L1D.
+	if r.PAMBytesPerCore < 8*1024 || r.PAMBytesPerCore > 9*1024 {
+		t.Fatalf("PAM bytes/core = %d, want ~8 KB", r.PAMBytesPerCore)
+	}
+	// Table II: SAM table ~12.7 KB per slice (incl. tags and LRU).
+	if r.SAMBytesPerSlice < 12*1024 || r.SAMBytesPerSlice > 14*1024 {
+		t.Fatalf("SAM bytes/slice = %d, want ~12.7 KB", r.SAMBytesPerSlice)
+	}
+	// Table II: directory extension ~76 KB per slice.
+	if r.DirExtensionBytesPerSlice < 75*1024 || r.DirExtensionBytesPerSlice > 80*1024 {
+		t.Fatalf("dir extension bytes/slice = %d, want ~76 KB", r.DirExtensionBytesPerSlice)
+	}
+	// Table II: "total storage overhead ... less than 5%".
+	if r.OverheadFraction >= 0.05 {
+		t.Fatalf("overhead = %.2f%%, want < 5%%", 100*r.OverheadFraction)
+	}
+}
+
+func TestAreaReaderOptSaves25Percent(t *testing.T) {
+	base := DefaultConfig(8, 64, coherence.FSLite)
+	opt := base
+	opt.ReaderOpt = true
+	full := base.Area(512, 32768, 8)
+	small := opt.Area(512, 32768, 8)
+	// §VI: "This optimized SAM table entry is 577 bits wide as opposed to
+	// 769 bits in the basic design leading to a 25% storage saving".
+	if small.SAMEntryBits != 577 {
+		t.Fatalf("optimized SAM entry = %d bits, want 577", small.SAMEntryBits)
+	}
+	saving := 1 - float64(small.SAMEntryBits)/float64(full.SAMEntryBits)
+	if saving < 0.24 || saving > 0.26 {
+		t.Fatalf("saving = %.1f%%, want ~25%%", 100*saving)
+	}
+}
+
+func TestAreaCoarseGrainShrinksTables(t *testing.T) {
+	cfg := DefaultConfig(8, 64, coherence.FSLite)
+	cfg.Granularity = 4
+	cfg.ReaderOpt = true
+	r := cfg.Area(512, 32768, 8)
+	// §VIII-B: "Tracking access information at a 4-byte granularity reduces
+	// the size of the PAM table to 2 KB per L1D cache and that of the SAM
+	// table with reader metadata optimization to 3 KB per LLC slice."
+	if r.PAMBytesPerCore > 3*1024 {
+		t.Fatalf("coarse PAM = %d bytes, want ~2 KB", r.PAMBytesPerCore)
+	}
+	if r.SAMBytesPerSlice > 4*1024 {
+		t.Fatalf("coarse SAM = %d bytes, want ~3 KB", r.SAMBytesPerSlice)
+	}
+}
+
+func TestAreaString(t *testing.T) {
+	cfg := DefaultConfig(8, 64, coherence.FSLite)
+	s := cfg.Area(512, 32768, 8).String()
+	for _, frag := range []string{"PAM entry 129 bits", "SAM entry 769", "19 bits/entry"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("report missing %q: %s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"testing"
+
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/memsys"
+	"fscoherence/internal/stats"
+)
+
+func newDS(mode coherence.Protocol, mutate func(*Config)) *DirSide {
+	cfg := DefaultConfig(8, 64, mode)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return NewDirSide(cfg, 0, stats.NewSet())
+}
+
+const blkA = memsys.Addr(0x4000)
+const blkB = memsys.Addr(0x8040)
+
+// mdBits builds a grain bit-vector covering [off,off+n).
+func mdBits(off, n int) uint64 {
+	var m uint64
+	for i := 0; i < n; i++ {
+		m |= 1 << uint(off+i)
+	}
+	return m
+}
+
+func TestRepMDRecordsWritersAndReaders(t *testing.T) {
+	d := newDS(coherence.FSLite, nil)
+	// Core 1 wrote bytes 0-7; core 2 read bytes 8-15: disjoint, no TS.
+	d.OnRepMD(blkA, 1, 0, mdBits(0, 8))
+	d.OnRepMD(blkA, 2, mdBits(8, 8), 0)
+	if d.TrueSharing(blkA) {
+		t.Fatal("disjoint accesses flagged as true sharing")
+	}
+	mask := d.MergeMask(blkA, 1)
+	for i := 0; i < 8; i++ {
+		if !mask[i] {
+			t.Fatalf("byte %d should belong to core 1", i)
+		}
+	}
+	for i := 8; i < 64; i++ {
+		if mask[i] {
+			t.Fatalf("byte %d should not belong to core 1", i)
+		}
+	}
+}
+
+func TestRepMDTrueSharingRules(t *testing.T) {
+	// §IV condition (i): read-only byte with a valid foreign last writer.
+	d := newDS(coherence.FSLite, nil)
+	d.OnRepMD(blkA, 1, 0, mdBits(0, 4)) // core 1 wrote bytes 0-3
+	d.OnRepMD(blkA, 2, mdBits(2, 1), 0) // core 2 read byte 2
+	if !d.TrueSharing(blkA) {
+		t.Fatal("condition (i) not detected")
+	}
+
+	// §IV condition (ii)(a): write over a foreign last writer.
+	d = newDS(coherence.FSLite, nil)
+	d.OnRepMD(blkA, 1, 0, mdBits(0, 4))
+	d.OnRepMD(blkA, 2, 0, mdBits(3, 1))
+	if !d.TrueSharing(blkA) {
+		t.Fatal("condition (ii)(a) not detected")
+	}
+
+	// §IV condition (ii)(b): write over a foreign reader.
+	d = newDS(coherence.FSLite, nil)
+	d.OnRepMD(blkA, 1, mdBits(5, 1), 0)
+	d.OnRepMD(blkA, 2, 0, mdBits(5, 1))
+	if !d.TrueSharing(blkA) {
+		t.Fatal("condition (ii)(b) not detected")
+	}
+
+	// Same-core read-then-write is never true sharing.
+	d = newDS(coherence.FSLite, nil)
+	d.OnRepMD(blkA, 1, mdBits(0, 8), 0)
+	d.OnRepMD(blkA, 1, 0, mdBits(0, 8))
+	if d.TrueSharing(blkA) {
+		t.Fatal("same-core accesses flagged")
+	}
+}
+
+func TestDetectionThresholds(t *testing.T) {
+	d := newDS(coherence.FSLite, nil) // tauP = 16
+	// Build disjoint metadata so TS stays clear.
+	d.OnRepMD(blkA, 0, 0, mdBits(0, 8))
+	d.OnRepMD(blkA, 1, 0, mdBits(8, 8))
+	// Drive FC and IC up to (but not past) the threshold.
+	for i := 0; i < 15; i++ {
+		if _, priv := d.OnFetchRequest(blkA, i%4); priv {
+			t.Fatalf("privatize before threshold at i=%d", i)
+		}
+		d.OnInvalidationsSent(blkA, 1)
+	}
+	// 16th crossing: flagged; the next request triggers privatization.
+	d.OnFetchRequest(blkA, 0)
+	d.OnInvalidationsSent(blkA, 1)
+	if _, priv := d.OnFetchRequest(blkA, 1); !priv {
+		t.Fatal("privatize not signalled after both counters crossed tauP")
+	}
+	if len(d.Detections()) != 1 {
+		t.Fatalf("detections = %+v", d.Detections())
+	}
+	det := d.Detections()[0]
+	if det.Addr != blkA || len(det.Writers) != 2 {
+		t.Fatalf("detection contents: %+v", det)
+	}
+}
+
+func TestNoDetectionUnderTrueSharing(t *testing.T) {
+	d := newDS(coherence.FSLite, nil)
+	// Persistent true sharing: the protocol keeps observing conflicting
+	// metadata (each REQ_MD round after a §VI reset re-detects it), so the
+	// refreshed TS bit and the hysteresis counter block privatization
+	// forever.
+	for i := 0; i < 200; i++ {
+		if i%4 == 0 {
+			d.OnRepMD(blkA, 0, 0, mdBits(0, 8))
+			d.OnRepMD(blkA, 1, 0, mdBits(0, 8)) // write-write conflict
+		}
+		if _, priv := d.OnFetchRequest(blkA, i%4); priv {
+			t.Fatalf("privatized a truly shared block at i=%d", i)
+		}
+		d.OnInvalidationsSent(blkA, 1)
+	}
+	if n := len(d.Detections()); n != 0 {
+		t.Fatalf("detections = %d", n)
+	}
+}
+
+func TestMetadataResetEnablesPhasedDetection(t *testing.T) {
+	// §VI data initialization: a short-lived TS episode must not block
+	// detection forever — crossing the thresholds with TS set resets the
+	// metadata (including TS), and the next clean episode is detected.
+	d := newDS(coherence.FSLite, nil)
+	d.OnRepMD(blkA, 0, 0, mdBits(0, 64)) // initializer wrote everything
+	d.OnRepMD(blkA, 1, 0, mdBits(8, 8))  // worker write: TS
+	if !d.TrueSharing(blkA) {
+		t.Fatal("setup: TS should be set")
+	}
+	// Cross the thresholds: resets SAM (incl. TS) and counters.
+	for i := 0; i < 16; i++ {
+		d.OnFetchRequest(blkA, i%4)
+		d.OnInvalidationsSent(blkA, 1)
+	}
+	if d.TrueSharing(blkA) {
+		t.Fatal("TS should have been reset at the tauR1 crossing")
+	}
+	// Hysteresis: the TS-crossing bumped HC to 1, so the *next* crossing
+	// decrements it without privatizing; the one after that privatizes.
+	crossed := false
+	for round := 0; round < 3 && !crossed; round++ {
+		d.OnRepMD(blkA, 0, 0, mdBits(0, 8))
+		d.OnRepMD(blkA, 1, 0, mdBits(8, 8))
+		for i := 0; i < 16; i++ {
+			d.OnFetchRequest(blkA, i%4)
+			d.OnInvalidationsSent(blkA, 1)
+		}
+		_, crossed = d.OnFetchRequest(blkA, 0)
+	}
+	if !crossed {
+		t.Fatal("phased block never became privatizable")
+	}
+}
+
+func TestHysteresisCounterBlocksThrashing(t *testing.T) {
+	d := newDS(coherence.FSLite, nil)
+	// Two controller-detected conflicts raise HC to 2.
+	d.MarkTrueSharing(blkA)
+	d.OnTerminate(blkA) // clears SAM/TS but HC persists
+	d.MarkTrueSharing(blkA)
+	d.OnTerminate(blkA)
+	// Each threshold crossing with TS=0 decrements HC by one; only after
+	// HC drains to zero may privatization trigger.
+	crossings := 0
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 16; i++ {
+			d.OnFetchRequest(blkA, i%4)
+			d.OnInvalidationsSent(blkA, 1)
+		}
+		if _, priv := d.OnFetchRequest(blkA, 0); priv {
+			crossings = round + 1
+			break
+		}
+	}
+	if crossings == 0 {
+		t.Fatal("never privatized")
+	}
+	if crossings < 3 {
+		t.Fatalf("privatized after %d crossings; hysteresis should delay to the 3rd", crossings)
+	}
+}
+
+func TestCheckBytesConditions(t *testing.T) {
+	d := newDS(coherence.FSLite, nil)
+	d.OnPrivatize(blkA)
+	// Unknown bytes: no conflict either way.
+	if d.CheckBytes(blkA, 1, 0, 8, true) != coherence.NoConflict {
+		t.Fatal("fresh bytes should not conflict")
+	}
+	d.RecordBytes(blkA, 1, 0, 8, true) // core 1 writes bytes 0-7
+	// Same core: read and write both fine.
+	if d.CheckBytes(blkA, 1, 0, 8, false) != coherence.NoConflict ||
+		d.CheckBytes(blkA, 1, 0, 8, true) != coherence.NoConflict {
+		t.Fatal("own bytes should not conflict")
+	}
+	// Foreign read of written bytes: conflict.
+	if d.CheckBytes(blkA, 2, 4, 4, false) == coherence.NoConflict {
+		t.Fatal("foreign read of written byte should conflict")
+	}
+	// Foreign write of written bytes: conflict.
+	if d.CheckBytes(blkA, 2, 0, 1, true) == coherence.NoConflict {
+		t.Fatal("foreign write of written byte should conflict")
+	}
+	// Reader then foreign writer.
+	d.RecordBytes(blkA, 3, 32, 8, false)
+	if d.CheckBytes(blkA, 2, 32, 1, true) == coherence.NoConflict {
+		t.Fatal("write over a foreign reader should conflict")
+	}
+	// The reader itself may upgrade to writing its own read bytes.
+	if d.CheckBytes(blkA, 3, 32, 8, true) != coherence.NoConflict {
+		t.Fatal("single reader may write its own bytes")
+	}
+	// Zero-length (prefetch) never conflicts.
+	if d.CheckBytes(blkA, 2, 0, 0, true) != coherence.NoConflict {
+		t.Fatal("prefetch must not conflict")
+	}
+}
+
+func TestMergeMaskAndPrvEviction(t *testing.T) {
+	d := newDS(coherence.FSLite, nil)
+	d.OnPrivatize(blkA)
+	d.RecordBytes(blkA, 1, 0, 8, true)
+	d.RecordBytes(blkA, 2, 8, 8, true)
+	m1 := d.MergeMask(blkA, 1)
+	m2 := d.MergeMask(blkA, 2)
+	if !m1[0] || m1[8] || !m2[8] || m2[0] {
+		t.Fatal("merge masks wrong")
+	}
+	// §V-D: eviction clears the evictor's last-writer slots.
+	d.OnPrvEviction(blkA, 1)
+	m1 = d.MergeMask(blkA, 1)
+	for i := range m1 {
+		if m1[i] {
+			t.Fatal("mask not cleared after eviction")
+		}
+	}
+	// Core 2's slots survive.
+	if !d.MergeMask(blkA, 2)[8] {
+		t.Fatal("other core's slots disturbed")
+	}
+}
+
+func TestPMMCAccounting(t *testing.T) {
+	d := newDS(coherence.FSLite, nil)
+	d.OnMetadataRequested(blkA, 3)
+	if d.PendingMetadata(blkA) != 3 {
+		t.Fatal("PMMC not incremented")
+	}
+	d.OnRepMD(blkA, 1, 1, 0)
+	d.OnMDPhantom(blkA)
+	if d.PendingMetadata(blkA) != 1 {
+		t.Fatalf("PMMC = %d, want 1", d.PendingMetadata(blkA))
+	}
+	// Clamp at zero (a response for a block whose metadata was dropped).
+	d.OnMDPhantom(blkA)
+	d.OnMDPhantom(blkA)
+	if d.PendingMetadata(blkA) != 0 {
+		t.Fatal("PMMC went negative")
+	}
+}
+
+func TestSAMEvictionForcesTermination(t *testing.T) {
+	st := stats.NewSet()
+	cfg := DefaultConfig(8, 64, coherence.FSLite)
+	cfg.SAMEntries = 4
+	cfg.SAMWays = 2
+	d := NewDirSide(cfg, 0, st)
+	d.OnPrivatize(blkA)
+	d.RecordBytes(blkA, 1, 0, 8, true)
+	// Flood the SAM with other blocks mapping over it until blkA's entry is
+	// displaced. Privatized entries are pinned, so this requires filling
+	// every way of its set with privatized entries.
+	var targets []memsys.Addr
+	for i := 1; targets == nil || len(targets) < 3; i++ {
+		a := blkA + memsys.Addr(i*64*2) // same set (2 sets with 4/2 geometry)
+		targets = append(targets, a)
+	}
+	for _, a := range targets {
+		d.OnPrivatize(a)
+	}
+	forced := d.TakeForcedTerminations()
+	if len(forced) == 0 {
+		t.Fatal("no forced termination after SAM displacement")
+	}
+	// The displaced entry's merge history must survive until termination.
+	if !d.MergeMask(forced[0], 1)[0] && forced[0] == blkA {
+		t.Fatal("victim-buffer merge history lost")
+	}
+	d.OnTerminate(forced[0])
+}
+
+func TestReaderOptEquivalence(t *testing.T) {
+	// The §VI reader optimization must detect the same conflicts as the
+	// full reader bit-vector for the detection-relevant cases.
+	scenarios := []struct {
+		name string
+		run  func(d *DirSide)
+		want bool
+	}{
+		{"w-after-foreign-r", func(d *DirSide) {
+			d.OnRepMD(blkA, 1, mdBits(0, 1), 0)
+			d.OnRepMD(blkA, 2, 0, mdBits(0, 1))
+		}, true},
+		{"w-after-own-r", func(d *DirSide) {
+			d.OnRepMD(blkA, 1, mdBits(0, 1), 0)
+			d.OnRepMD(blkA, 1, 0, mdBits(0, 1))
+		}, false},
+		{"w-after-two-readers-incl-self", func(d *DirSide) {
+			d.OnRepMD(blkA, 1, mdBits(0, 1), 0)
+			d.OnRepMD(blkA, 2, mdBits(0, 1), 0)
+			d.OnRepMD(blkA, 2, 0, mdBits(0, 1)) // overflow: core1 also read
+		}, true},
+	}
+	for _, sc := range scenarios {
+		for _, opt := range []bool{false, true} {
+			d := newDS(coherence.FSLite, func(c *Config) { c.ReaderOpt = opt })
+			sc.run(d)
+			if got := d.TrueSharing(blkA); got != sc.want {
+				t.Errorf("%s (readerOpt=%v): TS=%v want %v", sc.name, opt, got, sc.want)
+			}
+		}
+	}
+}
+
+func TestCounterSaturationResetsMetadata(t *testing.T) {
+	d := newDS(coherence.FSLite, nil)
+	d.OnRepMD(blkA, 0, 0, mdBits(0, 8))
+	d.OnRepMD(blkA, 1, 0, mdBits(0, 8)) // TS set
+	// FC reaching tauR2 (127) resets everything including TS, even though
+	// IC never crosses.
+	for i := 0; i < 127; i++ {
+		d.OnFetchRequest(blkA, i%4)
+	}
+	if d.TrueSharing(blkA) {
+		t.Fatal("TS survived the tauR2 reset")
+	}
+}
+
+func TestFSDetectModeNeverPrivatizes(t *testing.T) {
+	d := newDS(coherence.FSDetect, nil)
+	d.OnRepMD(blkA, 0, 0, mdBits(0, 8))
+	d.OnRepMD(blkA, 1, 0, mdBits(8, 8))
+	for i := 0; i < 100; i++ {
+		if _, priv := d.OnFetchRequest(blkA, i%4); priv {
+			t.Fatal("FSDetect mode must not privatize")
+		}
+		d.OnInvalidationsSent(blkA, 1)
+	}
+	// But it records repeated detection episodes.
+	if len(d.Detections()) != 1 || d.Detections()[0].Episodes < 2 {
+		t.Fatalf("detections: %+v", d.Detections())
+	}
+}
+
+func TestWantMetadataFollowsTS(t *testing.T) {
+	d := newDS(coherence.FSLite, nil)
+	if !d.WantMetadata(blkA) {
+		t.Fatal("fresh block should want metadata")
+	}
+	d.MarkTrueSharing(blkA)
+	if d.WantMetadata(blkA) {
+		t.Fatal("truly shared block should not request metadata")
+	}
+}
+
+func TestOnDirEvictionDropsEverything(t *testing.T) {
+	d := newDS(coherence.FSLite, nil)
+	d.OnRepMD(blkA, 1, 0, mdBits(0, 8))
+	d.OnMetadataRequested(blkA, 2)
+	d.OnDirEviction(blkA)
+	if d.TrueSharing(blkA) || d.PendingMetadata(blkA) != 0 {
+		t.Fatal("metadata survived directory eviction")
+	}
+	if d.MergeMask(blkA, 1)[0] {
+		t.Fatal("SAM entry survived directory eviction")
+	}
+}
+
+func TestPrivatizeResetsSAMEntry(t *testing.T) {
+	d := newDS(coherence.FSLite, nil)
+	d.OnRepMD(blkA, 1, 0, mdBits(0, 8))
+	d.OnPrivatize(blkA)
+	// The pre-episode last writers must be gone (§V-A resets the entry).
+	if d.MergeMask(blkA, 1)[0] {
+		t.Fatal("SAM entry not reset at privatization")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/memsys"
+	"fscoherence/internal/stats"
+)
+
+var _ coherence.L1Policy = (*PAM)(nil)
+
+// pamEntry mirrors fig. 5a: one read and one write bit per tracking grain of
+// an L1 cache block, plus the SEND_MD bit that gates metadata communication
+// on eviction.
+type pamEntry struct {
+	read   uint64
+	write  uint64
+	sendMD bool
+}
+
+// PAM is a per-core private access metadata table (§IV). The simulator keys
+// entries by block address; an entry exists exactly while the block is
+// resident in the core's L1D, matching the paper's one-entry-per-L1-line
+// organization (512 entries for a 32 KB L1D).
+type PAM struct {
+	cfg     Config
+	core    int
+	entries map[memsys.Addr]*pamEntry
+	stats   *stats.Set
+}
+
+// NewPAM builds the PAM table for one core.
+func NewPAM(cfg Config, core int, st *stats.Set) *PAM {
+	cfg.validate()
+	return &PAM{cfg: cfg, core: core, entries: make(map[memsys.Addr]*pamEntry), stats: st}
+}
+
+// mask returns the grain bit-mask covering [off, off+size).
+func (p *PAM) mask(off, size int) uint64 {
+	lo, hi := p.cfg.grainRange(off, size)
+	if hi < lo {
+		return 0
+	}
+	var m uint64
+	for g := lo; g <= hi; g++ {
+		m |= 1 << uint(g)
+	}
+	return m
+}
+
+func (p *PAM) entry(addr memsys.Addr) *pamEntry {
+	return p.entries[addr.BlockAlign(p.cfg.BlockSize)]
+}
+
+// Allocate creates a fresh (cleared) entry for a newly filled line.
+func (p *PAM) Allocate(addr memsys.Addr, sendMD bool) {
+	p.entries[addr.BlockAlign(p.cfg.BlockSize)] = &pamEntry{sendMD: sendMD}
+}
+
+// OnAccess sets the read or write bits for a committed access.
+func (p *PAM) OnAccess(addr memsys.Addr, off, size int, write bool) {
+	e := p.entry(addr)
+	if e == nil {
+		panic(fmt.Sprintf("core: PAM access without entry at %v (core %d)", addr, p.core))
+	}
+	m := p.mask(off, size)
+	if write {
+		e.write |= m
+	} else {
+		e.read |= m
+	}
+	p.stats.Inc(stats.CtrPAMUpdates)
+}
+
+// HasBits reports whether the entry already covers the range: write bits for
+// writes, read-or-write bits for reads (§V-B first-access test).
+func (p *PAM) HasBits(addr memsys.Addr, off, size int, write bool) bool {
+	e := p.entry(addr)
+	if e == nil {
+		return false
+	}
+	m := p.mask(off, size)
+	if write {
+		return e.write&m == m
+	}
+	return (e.read|e.write)&m == m
+}
+
+// SetSendMD updates the SEND_MD bit.
+func (p *PAM) SetSendMD(addr memsys.Addr, v bool) {
+	if e := p.entry(addr); e != nil {
+		e.sendMD = v
+	}
+}
+
+// PeekSendMD reports the SEND_MD bit.
+func (p *PAM) PeekSendMD(addr memsys.Addr) bool {
+	e := p.entry(addr)
+	return e != nil && e.sendMD
+}
+
+// PeekEntry returns the bit-vectors without clearing.
+func (p *PAM) PeekEntry(addr memsys.Addr) (uint64, uint64, bool) {
+	e := p.entry(addr)
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.read, e.write, true
+}
+
+// TakeEntry returns and clears the entry (invalidation/eviction path).
+func (p *PAM) TakeEntry(addr memsys.Addr) (uint64, uint64, bool, bool) {
+	blk := addr.BlockAlign(p.cfg.BlockSize)
+	e := p.entries[blk]
+	if e == nil {
+		return 0, 0, false, false
+	}
+	delete(p.entries, blk)
+	return e.read, e.write, e.sendMD, true
+}
+
+// Drop invalidates the entry without reading it.
+func (p *PAM) Drop(addr memsys.Addr) {
+	delete(p.entries, addr.BlockAlign(p.cfg.BlockSize))
+}
+
+// Entries returns the number of live entries (testing aid).
+func (p *PAM) Entries() int { return len(p.entries) }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"fscoherence/internal/coherence"
+)
+
+func newRedDS() *DirSide {
+	d := newDS(coherence.FSLite, nil)
+	d.RegisterReduction(coherence.AddrRange{Start: blkA, Size: 32}) // bytes 0-31
+	return d
+}
+
+func TestReductionWritersDoNotConflict(t *testing.T) {
+	d := newRedDS()
+	d.OnPrivatize(blkA)
+	d.RecordBytes(blkA, 1, 0, 8, true)
+	d.RecordBytes(blkA, 2, 0, 8, true) // same word, different core: allowed
+	if d.CheckBytes(blkA, 3, 0, 8, true) != coherence.NoConflict {
+		t.Fatal("a third reduction writer must not conflict")
+	}
+	// Both cores' reduce masks cover the word.
+	if !d.ReduceMask(blkA, 1)[0] || !d.ReduceMask(blkA, 2)[0] {
+		t.Fatal("reduction writers not recorded")
+	}
+	// Neither is a last-writer (the byte-copy merge must not fire).
+	if d.MergeMask(blkA, 1)[0] || d.MergeMask(blkA, 2)[0] {
+		t.Fatal("reduction writes must not set the last writer")
+	}
+}
+
+func TestReductionReadForcesConflict(t *testing.T) {
+	d := newRedDS()
+	d.OnPrivatize(blkA)
+	d.RecordBytes(blkA, 1, 0, 8, true)
+	// A foreign read of a grain with reduction writers must conflict (it
+	// needs the merged value).
+	if d.CheckBytes(blkA, 2, 0, 8, false) == coherence.NoConflict {
+		t.Fatal("foreign read of a reduction word must force a merge")
+	}
+	// The writer itself reading its own partial is allowed (same contract
+	// as a thread reading its OpenMP reduction variable mid-phase).
+	if d.CheckBytes(blkA, 1, 0, 8, false) != coherence.NoConflict {
+		t.Fatal("own read should not conflict")
+	}
+}
+
+func TestReductionWriteOverReaderConflicts(t *testing.T) {
+	d := newRedDS()
+	d.OnPrivatize(blkA)
+	d.RecordBytes(blkA, 3, 0, 8, false) // core 3 read the word
+	if d.CheckBytes(blkA, 1, 0, 8, true) == coherence.NoConflict {
+		t.Fatal("reduction write over a foreign reader must conflict")
+	}
+}
+
+func TestReductionOutsideRegionUnchanged(t *testing.T) {
+	d := newRedDS()
+	d.OnPrivatize(blkA)
+	// Bytes 32+ are outside the declared region: normal last-writer rules.
+	d.RecordBytes(blkA, 1, 32, 8, true)
+	if d.CheckBytes(blkA, 2, 32, 8, true) == coherence.NoConflict {
+		t.Fatal("outside the region, write-write must conflict")
+	}
+	if !d.MergeMask(blkA, 1)[32] {
+		t.Fatal("outside the region, the last writer must be recorded")
+	}
+}
+
+func TestReductionRepMDNoTrueSharing(t *testing.T) {
+	d := newRedDS()
+	// Overlapping write metadata from two cores within the region must not
+	// set TS (they are declared commutative).
+	d.OnRepMD(blkA, 1, 0, mdBits(0, 8))
+	d.OnRepMD(blkA, 2, 0, mdBits(0, 8))
+	if d.TrueSharing(blkA) {
+		t.Fatal("reduction-region write-write flagged as true sharing")
+	}
+	// Outside the region the same pattern is true sharing.
+	d2 := newRedDS()
+	d2.OnRepMD(blkA, 1, 0, mdBits(40, 8))
+	d2.OnRepMD(blkA, 2, 0, mdBits(40, 8))
+	if !d2.TrueSharing(blkA) {
+		t.Fatal("non-region write-write not flagged")
+	}
+}
+
+func TestReductionPrvEvictionClearsBits(t *testing.T) {
+	d := newRedDS()
+	d.OnPrivatize(blkA)
+	d.RecordBytes(blkA, 1, 0, 8, true)
+	d.RecordBytes(blkA, 2, 0, 8, true)
+	d.OnPrvEviction(blkA, 1)
+	if d.ReduceMask(blkA, 1)[0] {
+		t.Fatal("evictor's reduction bit survived")
+	}
+	if !d.ReduceMask(blkA, 2)[0] {
+		t.Fatal("other core's reduction bit lost")
+	}
+}
+
+func TestAddrRangeContains(t *testing.T) {
+	r := coherence.AddrRange{Start: 0x1010, Size: 0x20}
+	// The containing blocks (0x1000 and 0x1040... size 0x20 ends at 0x1030,
+	// so only block 0x1000) overlap.
+	if !r.Contains(0x1000, 64) || !r.Contains(0x102f, 64) {
+		t.Fatal("range should cover its own block")
+	}
+	if r.Contains(0x1040, 64) {
+		t.Fatal("next block wrongly covered")
+	}
+	if r.Contains(0xfc0, 64) {
+		t.Fatal("previous block wrongly covered")
+	}
+}
+
+func TestDetectionEpisodesAccumulate(t *testing.T) {
+	d := newDS(coherence.FSDetect, nil)
+	for round := 0; round < 3; round++ {
+		d.OnRepMD(blkA, 0, 0, mdBits(0, 8))
+		d.OnRepMD(blkA, 1, 0, mdBits(8, 8))
+		for i := 0; i < 16; i++ {
+			d.OnFetchRequest(blkA, i%4)
+			d.OnInvalidationsSent(blkA, 1)
+		}
+	}
+	dets := d.Detections()
+	if len(dets) != 1 || dets[0].Episodes != 3 {
+		t.Fatalf("episodes = %+v", dets)
+	}
+}
+
+func TestAreaScalesWithCores(t *testing.T) {
+	// §IV: the SAM entry is (C + 1 + log2 C)*B + 1 bits; spot-check 16 and
+	// 32 cores.
+	for _, tc := range []struct {
+		cores, want int
+	}{
+		{16, (16+1+4)*64 + 1},
+		{32, (32+1+5)*64 + 1},
+	} {
+		cfg := DefaultConfig(tc.cores, 64, coherence.FSLite)
+		r := cfg.Area(512, 32768, 8)
+		if r.SAMEntryBits != tc.want {
+			t.Fatalf("%d cores: SAM entry = %d bits, want %d", tc.cores, r.SAMEntryBits, tc.want)
+		}
+	}
+}

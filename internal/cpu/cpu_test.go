@@ -1,0 +1,254 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/cpu"
+	"fscoherence/internal/memsys"
+	"fscoherence/internal/network"
+	"fscoherence/internal/stats"
+)
+
+// rig is a minimal system (cores + L1s + one directory slice) for driving
+// the core models directly.
+type rig struct {
+	t     *testing.T
+	st    *stats.Set
+	net   *network.Network
+	l1s   []*coherence.L1
+	dir   *coherence.Dir
+	cores []cpu.Core
+	quit  chan struct{}
+	cycle uint64
+}
+
+func newRig(t *testing.T, n int, ooo bool, fns []cpu.ThreadFunc) *rig {
+	p := coherence.DefaultParams()
+	p.Cores = n
+	p.Slices = 1
+	st := stats.NewSet()
+	r := &rig{t: t, st: st,
+		net:  network.New(p.Nodes(), p.NetLatency, p.BlockSize, st),
+		quit: make(chan struct{}),
+	}
+	mem := memsys.NewMemory(p.BlockSize)
+	r.dir = coherence.NewDir(0, p, coherence.Baseline, r.net, mem, nil, st)
+	for i := 0; i < n; i++ {
+		l1 := coherence.NewL1(i, p, coherence.Baseline, r.net, nil, st, nil)
+		if ooo {
+			l1.SetMaxMSHRs(8)
+		}
+		r.l1s = append(r.l1s, l1)
+		if ooo {
+			r.cores = append(r.cores, cpu.NewOOO(i, l1, fns[i], r.quit, 8, 64, st))
+		} else {
+			r.cores = append(r.cores, cpu.NewInOrder(i, l1, fns[i], r.quit, st))
+		}
+	}
+	return r
+}
+
+func (r *rig) run(maxCycles int) uint64 {
+	r.t.Helper()
+	defer close(r.quit)
+	for i := 0; i < maxCycles; i++ {
+		r.cycle++
+		r.net.SetCycle(r.cycle)
+		r.dir.Tick(r.cycle)
+		for _, l := range r.l1s {
+			l.Tick(r.cycle)
+		}
+		for _, c := range r.cores {
+			c.Tick(r.cycle)
+		}
+		done := true
+		for _, c := range r.cores {
+			if !c.Finished() {
+				done = false
+			}
+		}
+		if done && r.net.Pending() == 0 {
+			return r.cycle
+		}
+	}
+	r.t.Fatal("rig did not finish")
+	return 0
+}
+
+const base = memsys.Addr(0x8000)
+
+func TestInOrderLoadStoreRoundTrip(t *testing.T) {
+	var got, sizes uint64
+	fns := []cpu.ThreadFunc{func(c *cpu.Ctx) {
+		c.Store(base, 8, 0xdeadbeefcafe)
+		got = c.Load(base, 8)
+		// Sub-word accesses see the little-endian bytes.
+		sizes = c.Load(base, 2)
+	}}
+	newRig(t, 1, false, fns).run(100000)
+	if got != 0xdeadbeefcafe {
+		t.Fatalf("round trip = %#x", got)
+	}
+	if sizes != 0xcafe {
+		t.Fatalf("2-byte load = %#x", sizes)
+	}
+}
+
+func TestAtomicReturnsOldValue(t *testing.T) {
+	var old1, old2, final uint64
+	fns := []cpu.ThreadFunc{func(c *cpu.Ctx) {
+		old1 = c.AtomicAdd(base, 8, 5)
+		old2 = c.AtomicAdd(base, 8, 3)
+		final = c.Load(base, 8)
+	}}
+	newRig(t, 1, false, fns).run(100000)
+	if old1 != 0 || old2 != 5 || final != 8 {
+		t.Fatalf("old1=%d old2=%d final=%d", old1, old2, final)
+	}
+}
+
+func TestTestAndSetSemantics(t *testing.T) {
+	var first, second uint64
+	fns := []cpu.ThreadFunc{func(c *cpu.Ctx) {
+		first = c.TestAndSet(base, 8)
+		second = c.TestAndSet(base, 8)
+	}}
+	newRig(t, 1, false, fns).run(100000)
+	if first != 0 || second != 1 {
+		t.Fatalf("TAS returned %d then %d", first, second)
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	// Two threads increment a counter 50 times each under a lock; without
+	// mutual exclusion increments would be lost.
+	lock, counter := base, base+64
+	mk := func() cpu.ThreadFunc {
+		return func(c *cpu.Ctx) {
+			for i := 0; i < 50; i++ {
+				c.LockAcquire(lock)
+				v := c.Load(counter, 8)
+				c.Compute(2)
+				c.StoreSync(counter, 8, v+1)
+				c.LockRelease(lock)
+			}
+		}
+	}
+	var final uint64
+	fns := []cpu.ThreadFunc{mk(), func(c *cpu.Ctx) {
+		mk()(c)
+		// This thread finishes last in program order only for itself, so
+		// read after acquiring the lock once more.
+		c.LockAcquire(lock)
+		final = c.Load(counter, 8)
+		c.LockRelease(lock)
+	}}
+	newRig(t, 2, false, fns).run(3_000_000)
+	if final < 100 {
+		t.Fatalf("counter = %d, want >= 100 (lost updates)", final)
+	}
+}
+
+func TestBarrierRendezvous(t *testing.T) {
+	bar := &cpu.Barrier{CountAddr: base, SenseAddr: base + 8, Threads: 3}
+	flags := base + 128
+	var seen [3]uint64
+	mk := func(id int) cpu.ThreadFunc {
+		return func(c *cpu.Ctx) {
+			var sense uint64
+			c.Compute(uint64(50 * id)) // desynchronize arrivals
+			c.StoreSync(flags+memsys.Addr(8*id), 8, 1)
+			bar.Wait(c, &sense)
+			// After the barrier every flag must be visible.
+			var sum uint64
+			for j := 0; j < 3; j++ {
+				sum += c.Load(flags+memsys.Addr(8*j), 8)
+			}
+			seen[id] = sum
+			bar.Wait(c, &sense) // reusable (sense reversal)
+		}
+	}
+	newRig(t, 3, false, []cpu.ThreadFunc{mk(0), mk(1), mk(2)}).run(3_000_000)
+	for id, s := range seen {
+		if s != 3 {
+			t.Fatalf("thread %d saw %d flags after barrier", id, s)
+		}
+	}
+}
+
+func TestComputeConsumesCycles(t *testing.T) {
+	short := newRig(t, 1, false, []cpu.ThreadFunc{func(c *cpu.Ctx) { c.Compute(10) }}).run(100000)
+	long := newRig(t, 1, false, []cpu.ThreadFunc{func(c *cpu.Ctx) { c.Compute(5000) }}).run(100000)
+	if long < short+4000 {
+		t.Fatalf("compute not modelled: short=%d long=%d", short, long)
+	}
+}
+
+func TestOOOOverlapsAsyncStores(t *testing.T) {
+	mk := func() cpu.ThreadFunc {
+		return func(c *cpu.Ctx) {
+			for i := 0; i < 60; i++ {
+				c.Store(base+memsys.Addr(i*64), 8, uint64(i)) // async
+			}
+		}
+	}
+	in := newRig(t, 1, false, []cpu.ThreadFunc{mk()}).run(3_000_000)
+	ooo := newRig(t, 1, true, []cpu.ThreadFunc{mk()}).run(3_000_000)
+	if ooo*3 > in {
+		t.Fatalf("OOO %d vs in-order %d: expected >3x overlap", ooo, in)
+	}
+}
+
+func TestOOORespectsDataDependences(t *testing.T) {
+	// A sync load's value feeds the next op: the OOO core must stall fetch
+	// until the value returns, so the final chain is still correct.
+	var sum uint64
+	fns := []cpu.ThreadFunc{func(c *cpu.Ctx) {
+		c.StoreSync(base, 8, 10)
+		v := c.Load(base, 8)
+		c.StoreSync(base+8, 8, v*2)
+		sum = c.Load(base+8, 8)
+	}}
+	newRig(t, 1, true, fns).run(100000)
+	if sum != 20 {
+		t.Fatalf("dependent chain = %d", sum)
+	}
+}
+
+func TestOOOCommitStallAccounting(t *testing.T) {
+	r := newRig(t, 1, true, []cpu.ThreadFunc{func(c *cpu.Ctx) {
+		for i := 0; i < 20; i++ {
+			c.Load(base+memsys.Addr(i*0x1000), 8) // dependent misses
+		}
+	}})
+	r.run(1_000_000)
+	if r.st.Get(stats.CtrCommitStalls) == 0 {
+		t.Fatal("commit stalls not accounted")
+	}
+}
+
+func TestThreadAbortOnQuit(t *testing.T) {
+	// A thread blocked mid-handshake must unwind cleanly when the
+	// simulation shuts down early (no goroutine leak, no panic escape).
+	quit := make(chan struct{})
+	p := coherence.DefaultParams()
+	p.Cores = 1
+	p.Slices = 1
+	st := stats.NewSet()
+	net := network.New(p.Nodes(), p.NetLatency, p.BlockSize, st)
+	l1 := coherence.NewL1(0, p, coherence.Baseline, net, nil, st, nil)
+	core := cpu.NewInOrder(0, l1, func(c *cpu.Ctx) {
+		for i := 0; ; i++ {
+			c.Compute(1) // infinite thread
+		}
+	}, quit, st)
+	for i := uint64(1); i < 100; i++ {
+		net.SetCycle(i)
+		core.Tick(i)
+	}
+	close(quit) // must not deadlock or panic
+	if core.Finished() {
+		t.Fatal("infinite thread cannot be finished")
+	}
+}

@@ -1,0 +1,147 @@
+package cpu
+
+import (
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/stats"
+)
+
+// Core is a processor model driving one L1 controller.
+type Core interface {
+	// Tick advances the core one cycle.
+	Tick(now uint64)
+	// Finished reports whether the thread completed and all of the core's
+	// operations retired.
+	Finished() bool
+}
+
+// InOrder is the blocking in-order core of the paper's main configuration:
+// one operation at a time, every memory operation blocks until it commits.
+type InOrder struct {
+	id     int
+	l1     *coherence.L1
+	runner *threadRunner
+	stats  *stats.Set
+
+	started   bool
+	exhausted bool // thread function returned
+
+	busyUntil uint64
+	waiting   bool // a memory access is outstanding
+	retryOp   *Op  // access rejected by the L1; retry each cycle
+	cur       Op
+	result    uint64
+	haveOp    bool
+}
+
+// NewInOrder builds an in-order core running fn.
+func NewInOrder(id int, l1 *coherence.L1, fn ThreadFunc, quit chan struct{}, st *stats.Set) *InOrder {
+	return &InOrder{id: id, l1: l1, runner: startThread(id, fn, quit), stats: st}
+}
+
+// Finished reports thread completion.
+func (c *InOrder) Finished() bool {
+	return c.exhausted && !c.waiting && !c.haveOp
+}
+
+// Tick advances the core one cycle.
+func (c *InOrder) Tick(now uint64) {
+	if c.Finished() {
+		return
+	}
+	if c.busyUntil > now {
+		return // computing
+	}
+	if c.waiting {
+		c.stats.Inc(stats.CtrStallCycles)
+		if c.retryOp != nil {
+			c.issue(now, *c.retryOp)
+		}
+		return
+	}
+	if !c.haveOp {
+		if !c.fetch() {
+			return
+		}
+	}
+	op := c.cur
+	c.haveOp = false
+	c.stats.Inc(stats.CtrOpsCommitted)
+	switch op.Kind {
+	case OpCompute:
+		c.stats.Add(stats.CtrComputeCycles, op.Cycles)
+		c.busyUntil = now + op.Cycles
+		c.runner.complete(0)
+	default:
+		c.waiting = true
+		c.issue(now, op)
+	}
+}
+
+// fetch pulls the next operation from the thread.
+func (c *InOrder) fetch() bool {
+	if c.exhausted {
+		return false
+	}
+	op, ok := c.runner.next()
+	if !ok {
+		c.exhausted = true
+		return false
+	}
+	c.cur = op
+	c.haveOp = true
+	return true
+}
+
+// issue submits a memory operation to the L1, handling rejection by retrying
+// next cycle.
+func (c *InOrder) issue(now uint64, op Op) {
+	acc := buildAccess(op, func(v uint64) {
+		c.waiting = false
+		c.runner.complete(v)
+	})
+	res := c.l1.Submit(acc)
+	if res == coherence.SubmitRetry {
+		o := op
+		c.retryOp = &o
+		return
+	}
+	c.retryOp = nil
+}
+
+// buildAccess converts an Op into a coherence.Access whose Done callback
+// invokes fin with the (decoded) result value.
+func buildAccess(op Op, fin func(uint64)) *coherence.Access {
+	switch op.Kind {
+	case OpLoad:
+		return &coherence.Access{
+			Kind: coherence.AccessLoad, Addr: op.Addr, Size: op.Size,
+			Done: func(v []byte) { fin(decodeLE(v)) },
+		}
+	case OpStore:
+		return &coherence.Access{
+			Kind: coherence.AccessStore, Addr: op.Addr, Size: op.Size,
+			StoreData: encodeLE(op.Value, op.Size),
+			Done:      func([]byte) { fin(0) },
+		}
+	case OpAtomic:
+		fn := op.Fn
+		size := op.Size
+		return &coherence.Access{
+			Kind: coherence.AccessAtomicRMW, Addr: op.Addr, Size: op.Size,
+			RMW:  func(old []byte) []byte { return encodeLE(fn(decodeLE(old)), size) },
+			Done: func(v []byte) { fin(decodeLE(v)) },
+		}
+	case OpPrefetch:
+		return &coherence.Access{
+			Kind: coherence.AccessPrefetch, Addr: op.Addr,
+			Done: func([]byte) { fin(0) },
+		}
+	case OpReduce:
+		return &coherence.Access{
+			Kind: coherence.AccessReduce, Addr: op.Addr, Size: op.Size,
+			Delta: op.Value,
+			Done:  func([]byte) { fin(0) },
+		}
+	}
+	panic("cpu: bad op kind for access")
+}

@@ -1,0 +1,127 @@
+package cpu
+
+import (
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/stats"
+)
+
+// robEntry is one in-flight operation in the OOO core's reorder buffer.
+type robEntry struct {
+	op        Op
+	done      bool
+	computeAt uint64 // compute ops complete at this cycle
+	isCompute bool
+}
+
+// OOO is a simplified wide out-of-order core (the §VIII-B study): it issues
+// up to Width operations per cycle, keeps up to ROBSize in flight, overlaps
+// compute and asynchronous memory operations with outstanding misses, and
+// retires up to Width operations per cycle in order. A synchronous memory
+// operation (whose value the thread consumes) stalls further fetch until its
+// value returns, modelling a true data dependence.
+type OOO struct {
+	id     int
+	l1     *coherence.L1
+	runner *threadRunner
+	stats  *stats.Set
+
+	width   int
+	robSize int
+
+	rob       []*robEntry
+	nextOp    *Op
+	exhausted bool
+}
+
+// NewOOO builds an out-of-order core with the given issue/commit width and
+// reorder-buffer capacity, running fn. The L1 should be configured with a
+// matching number of MSHRs.
+func NewOOO(id int, l1 *coherence.L1, fn ThreadFunc, quit chan struct{}, width, robSize int, st *stats.Set) *OOO {
+	c := &OOO{id: id, l1: l1, runner: startThread(id, fn, quit), stats: st, width: width, robSize: robSize}
+	c.refill(0, true)
+	return c
+}
+
+// refill obtains the thread's next operation into the single-op fetch buffer.
+// When first is true no completion is owed (initial fetch).
+func (c *OOO) refill(v uint64, first bool) {
+	if c.exhausted {
+		return
+	}
+	if !first {
+		c.runner.complete(v)
+	}
+	op, ok := c.runner.next()
+	if !ok {
+		c.exhausted = true
+		c.nextOp = nil
+		return
+	}
+	c.nextOp = &op
+}
+
+// Finished reports whether the thread completed and the ROB drained.
+func (c *OOO) Finished() bool {
+	return c.exhausted && len(c.rob) == 0 && c.nextOp == nil
+}
+
+// Tick retires completed head entries, then issues new operations.
+func (c *OOO) Tick(now uint64) {
+	if c.Finished() {
+		return
+	}
+
+	// Retire in order, up to the commit width.
+	retired := 0
+	for retired < c.width && len(c.rob) > 0 {
+		head := c.rob[0]
+		if head.isCompute {
+			if head.computeAt > now {
+				break
+			}
+		} else if !head.done {
+			break
+		}
+		c.rob = c.rob[1:]
+		retired++
+		c.stats.Inc(stats.CtrOpsCommitted)
+	}
+	if retired == 0 && len(c.rob) > 0 {
+		c.stats.Inc(stats.CtrCommitStalls)
+	}
+
+	// Issue up to the issue width.
+	for issued := 0; issued < c.width; issued++ {
+		if c.nextOp == nil || len(c.rob) >= c.robSize {
+			return
+		}
+		op := *c.nextOp
+		switch op.Kind {
+		case OpCompute:
+			c.rob = append(c.rob, &robEntry{op: op, isCompute: true, computeAt: now + op.Cycles})
+			c.stats.Add(stats.CtrComputeCycles, op.Cycles)
+			c.refill(0, false)
+		default:
+			ent := &robEntry{op: op}
+			// Synchronous means the thread consumes the result (a true data
+			// dependence): plain loads, atomics, and synchronizing stores.
+			// Async loads/stores and prefetches are fire-and-forget.
+			sync := (op.Kind == OpLoad && !op.Async) || op.Kind == OpAtomic || (op.Kind == OpStore && !op.Async)
+			acc := buildAccess(op, func(v uint64) {
+				ent.done = true
+				if sync {
+					c.refill(v, false)
+				}
+			})
+			if c.l1.Submit(acc) == coherence.SubmitRetry {
+				return // head-of-line: retry next cycle
+			}
+			c.rob = append(c.rob, ent)
+			if sync {
+				c.nextOp = nil // refilled when the value returns
+			} else {
+				c.refill(0, false)
+			}
+		}
+	}
+}

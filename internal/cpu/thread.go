@@ -1,0 +1,209 @@
+package cpu
+
+import (
+	"fmt"
+
+	"fscoherence/internal/memsys"
+)
+
+// ThreadFunc is the body of a simulated thread. It issues memory operations
+// through the Ctx; every call blocks (in simulated time) until the operation
+// is accepted or completed by the core model.
+type ThreadFunc func(ctx *Ctx)
+
+// threadAborted is panicked inside a thread goroutine when the simulation
+// shuts down early; the runner recovers it.
+type threadAborted struct{}
+
+// Ctx is a simulated thread's handle to its core. Its methods may only be
+// called from the ThreadFunc goroutine.
+type Ctx struct {
+	id    int
+	opCh  chan Op
+	resCh chan uint64
+	quit  chan struct{}
+}
+
+// ID returns the thread's (== core's) index.
+func (c *Ctx) ID() int { return c.id }
+
+// do performs the synchronous handshake for one operation.
+func (c *Ctx) do(op Op) uint64 {
+	select {
+	case c.opCh <- op:
+	case <-c.quit:
+		panic(threadAborted{})
+	}
+	select {
+	case v := <-c.resCh:
+		return v
+	case <-c.quit:
+		panic(threadAborted{})
+	}
+}
+
+func checkSize(size int) {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("cpu: bad access size %d", size))
+	}
+}
+
+// Load reads a size-byte little-endian value and returns it.
+func (c *Ctx) Load(addr memsys.Addr, size int) uint64 {
+	checkSize(size)
+	return c.do(Op{Kind: OpLoad, Addr: addr, Size: size})
+}
+
+// LoadAsync reads a value whose result the thread does not consume; the
+// out-of-order core overlaps it with younger operations.
+func (c *Ctx) LoadAsync(addr memsys.Addr, size int) {
+	checkSize(size)
+	c.do(Op{Kind: OpLoad, Addr: addr, Size: size, Async: true})
+}
+
+// Store writes a size-byte little-endian value.
+func (c *Ctx) Store(addr memsys.Addr, size int, v uint64) {
+	checkSize(size)
+	c.do(Op{Kind: OpStore, Addr: addr, Size: size, Value: v, Async: true})
+}
+
+// StoreSync writes and waits for the store to commit (release semantics in
+// the simple consistency model of the simulator).
+func (c *Ctx) StoreSync(addr memsys.Addr, size int, v uint64) {
+	checkSize(size)
+	c.do(Op{Kind: OpStore, Addr: addr, Size: size, Value: v})
+}
+
+// AtomicRMW applies fn atomically and returns the old value.
+func (c *Ctx) AtomicRMW(addr memsys.Addr, size int, fn AtomicFn) uint64 {
+	checkSize(size)
+	return c.do(Op{Kind: OpAtomic, Addr: addr, Size: size, Fn: fn})
+}
+
+// AtomicAdd atomically adds delta and returns the old value.
+func (c *Ctx) AtomicAdd(addr memsys.Addr, size int, delta uint64) uint64 {
+	return c.AtomicRMW(addr, size, func(old uint64) uint64 { return old + delta })
+}
+
+// TestAndSet atomically sets the location to 1 and returns the old value.
+func (c *Ctx) TestAndSet(addr memsys.Addr, size int) uint64 {
+	return c.AtomicRMW(addr, size, func(uint64) uint64 { return 1 })
+}
+
+// Reduce performs a commutative accumulation (+= delta) into a word of a
+// declared reduction region (§VII). The operation is fire-and-forget; the
+// exact sum is not observable until the region's privatized episodes merge.
+// A load by a NON-participating core forces that merge (its byte check
+// conflicts with the recorded reduction writers); a participant's own load
+// may return its local partial value — the same contract as an OpenMP
+// reduction variable before the reduction barrier.
+func (c *Ctx) Reduce(addr memsys.Addr, size int, delta uint64) {
+	checkSize(size)
+	c.do(Op{Kind: OpReduce, Addr: addr, Size: size, Value: delta, Async: true})
+}
+
+// Compute spends n cycles of local computation.
+func (c *Ctx) Compute(n uint64) {
+	if n == 0 {
+		return
+	}
+	c.do(Op{Kind: OpCompute, Cycles: n})
+}
+
+// Prefetch fetches the block containing addr without touching any byte.
+func (c *Ctx) Prefetch(addr memsys.Addr) {
+	c.do(Op{Kind: OpPrefetch, Addr: addr})
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization built from coherent atomics: these primitives generate real
+// protocol traffic (and real true sharing on the lock words).
+// ---------------------------------------------------------------------------
+
+// LockAcquire spins on a test-and-test-and-set lock at addr (8 bytes).
+func (c *Ctx) LockAcquire(addr memsys.Addr) {
+	for {
+		// Spin locally on the shared copy until the lock looks free.
+		for c.Load(addr, 8) != 0 {
+			c.Compute(4)
+		}
+		if c.TestAndSet(addr, 8) == 0 {
+			return
+		}
+		c.Compute(8) // lost the race: back off briefly
+	}
+}
+
+// LockRelease releases a lock acquired by LockAcquire.
+func (c *Ctx) LockRelease(addr memsys.Addr) {
+	c.StoreSync(addr, 8, 0)
+}
+
+// Barrier is a sense-reversing centralized barrier. CountAddr holds the
+// arrival count and SenseAddr the global sense; both are 8-byte words.
+type Barrier struct {
+	CountAddr memsys.Addr
+	SenseAddr memsys.Addr
+	Threads   int
+}
+
+// Wait blocks the calling thread until all Threads threads arrive.
+// localSense must start at 0 and is flipped on each use; the caller keeps it
+// across invocations.
+func (b *Barrier) Wait(c *Ctx, localSense *uint64) {
+	*localSense ^= 1
+	arrived := c.AtomicAdd(b.CountAddr, 8, 1)
+	if int(arrived) == b.Threads-1 {
+		// Both stores are synchronous: the count must be reset before the
+		// sense release becomes visible, even on the out-of-order core.
+		c.StoreSync(b.CountAddr, 8, 0)
+		c.StoreSync(b.SenseAddr, 8, *localSense)
+		return
+	}
+	for c.Load(b.SenseAddr, 8) != *localSense {
+		c.Compute(4)
+	}
+}
+
+// threadRunner owns the goroutine side of one thread.
+type threadRunner struct {
+	ctx  *Ctx
+	done chan struct{}
+}
+
+// startThread launches fn as a simulated thread for core id.
+func startThread(id int, fn ThreadFunc, quit chan struct{}) *threadRunner {
+	r := &threadRunner{
+		ctx:  &Ctx{id: id, opCh: make(chan Op), resCh: make(chan uint64), quit: quit},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(r.done)
+		defer close(r.ctx.opCh)
+		defer func() {
+			if rec := recover(); rec != nil {
+				if _, ok := rec.(threadAborted); ok {
+					return // simulation shut down early
+				}
+				panic(rec)
+			}
+		}()
+		fn(r.ctx)
+	}()
+	return r
+}
+
+// next fetches the thread's next operation; ok is false once the thread
+// function returned.
+func (r *threadRunner) next() (Op, bool) {
+	op, ok := <-r.ctx.opCh
+	return op, ok
+}
+
+// complete delivers the result of the previous operation, unblocking the
+// thread.
+func (r *threadRunner) complete(v uint64) {
+	r.ctx.resCh <- v
+}

@@ -1,0 +1,66 @@
+package energy
+
+import (
+	"testing"
+
+	"fscoherence/internal/stats"
+)
+
+func runStats(cycles, accesses, fills, netBytes uint64) *stats.Set {
+	st := stats.NewSet()
+	st.Set(stats.CtrCycles, cycles)
+	st.Set(stats.CtrL1DAccesses, accesses)
+	st.Set(stats.CtrL1DFills, fills)
+	st.Set(stats.CtrNetBytes, netBytes)
+	return st
+}
+
+func TestStaticScalesWithCycles(t *testing.T) {
+	m := Default()
+	a := m.Compute(runStats(1000, 0, 0, 0), false)
+	b := m.Compute(runStats(2000, 0, 0, 0), false)
+	if b.Static != 2*a.Static {
+		t.Fatalf("static energy not linear in cycles: %v vs %v", a.Static, b.Static)
+	}
+	if a.Dynamic != 0 {
+		t.Fatal("no events should mean no dynamic energy")
+	}
+}
+
+func TestMetadataStructuresCostExtra(t *testing.T) {
+	m := Default()
+	st := runStats(1000, 100, 10, 500)
+	st.Set(stats.CtrPAMUpdates, 50)
+	st.Set(stats.CtrSAMLookups, 20)
+	without := m.Compute(st, false)
+	with := m.Compute(st, true)
+	if with.Static <= without.Static {
+		t.Fatal("PAM/SAM leakage missing")
+	}
+	if with.Dynamic <= without.Dynamic {
+		t.Fatal("PAM/SAM dynamic energy missing")
+	}
+	// The metadata overhead must be small relative to the hierarchy
+	// (the paper's <5% area translates to a small static share).
+	if (with.Static-without.Static)/without.Static > 0.05 {
+		t.Fatalf("metadata static share too large: %v", (with.Static-without.Static)/without.Static)
+	}
+}
+
+func TestShorterRunSavesEnergy(t *testing.T) {
+	// The FSLite effect: fewer cycles and less traffic must mean less
+	// total energy, even with the metadata structures present.
+	m := Default()
+	slow := m.Compute(runStats(100000, 5000, 500, 100000), false)
+	fast := m.Compute(runStats(30000, 5000, 100, 5000), true)
+	if fast.Total() >= slow.Total() {
+		t.Fatalf("fast run not cheaper: %v vs %v", fast.Total(), slow.Total())
+	}
+}
+
+func TestTotalIsStaticPlusDynamic(t *testing.T) {
+	b := Breakdown{Static: 3, Dynamic: 4}
+	if b.Total() != 7 {
+		t.Fatal("Total broken")
+	}
+}

@@ -1,0 +1,41 @@
+// Package memsys provides the basic memory-system building blocks used by the
+// simulator: physical addresses, a generic set-associative cache with LRU
+// replacement (used for the L1 caches, the LLC and the SAM metadata table),
+// a flat backing memory with lazily allocated blocks, and a byte-granular
+// golden-memory oracle used by the test suite to verify coherence.
+package memsys
+
+import "fmt"
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// BlockAlign returns the address of the cache block containing a, for the
+// given block size (which must be a power of two).
+func (a Addr) BlockAlign(blockSize int) Addr {
+	return a &^ Addr(blockSize-1)
+}
+
+// BlockOffset returns the byte offset of a within its cache block.
+func (a Addr) BlockOffset(blockSize int) int {
+	return int(a & Addr(blockSize-1))
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("0x%x", uint64(a))
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v int) bool {
+	return v > 0 && v&(v-1) == 0
+}
+
+// Log2 returns log2(v) for a power-of-two v.
+func Log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

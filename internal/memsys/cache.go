@@ -1,0 +1,205 @@
+package memsys
+
+import "fmt"
+
+// Entry is one way of one set in a SetAssoc cache. Tag holds the full
+// block-aligned address (not a truncated tag) for simplicity; Payload is the
+// per-line state owned by the client (coherence state, data, metadata, ...).
+type Entry[V any] struct {
+	Valid   bool
+	Tag     Addr // block-aligned address
+	Payload V
+	lastUse uint64 // LRU timestamp
+	pinned  bool
+}
+
+// SetAssoc is a generic set-associative cache with true-LRU replacement.
+// Addresses are mapped to sets by block-aligned address bits; the payload
+// type V carries whatever per-line state the client needs.
+type SetAssoc[V any] struct {
+	name      string
+	sets      int
+	ways      int
+	blockSize int
+	setShift  int
+	setMask   Addr
+	entries   []Entry[V] // sets*ways, row-major by set
+	clock     uint64
+}
+
+// NewSetAssoc builds a cache with the given total entry count and
+// associativity. entries must be a multiple of ways and entries/ways must be a
+// power of two. blockSize must be a power of two and determines how addresses
+// are block-aligned before indexing.
+func NewSetAssoc[V any](name string, entries, ways, blockSize int) *SetAssoc[V] {
+	if ways <= 0 || entries <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("memsys: bad cache geometry %s: entries=%d ways=%d", name, entries, ways))
+	}
+	sets := entries / ways
+	if !IsPow2(sets) {
+		panic(fmt.Sprintf("memsys: sets must be a power of two, got %d (%s)", sets, name))
+	}
+	if !IsPow2(blockSize) {
+		panic(fmt.Sprintf("memsys: block size must be a power of two, got %d (%s)", blockSize, name))
+	}
+	return &SetAssoc[V]{
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		blockSize: blockSize,
+		setShift:  Log2(blockSize),
+		setMask:   Addr(sets - 1),
+		entries:   make([]Entry[V], sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *SetAssoc[V]) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc[V]) Ways() int { return c.ways }
+
+// BlockSize returns the block size in bytes.
+func (c *SetAssoc[V]) BlockSize() int { return c.blockSize }
+
+// Entries returns the total number of entries.
+func (c *SetAssoc[V]) Entries() int { return c.sets * c.ways }
+
+// SetIndex returns the set index for address a.
+func (c *SetAssoc[V]) SetIndex(a Addr) int {
+	return int((a >> Addr(c.setShift)) & c.setMask)
+}
+
+func (c *SetAssoc[V]) set(a Addr) []Entry[V] {
+	i := c.SetIndex(a)
+	return c.entries[i*c.ways : (i+1)*c.ways]
+}
+
+// Lookup returns the entry holding address a, or nil on miss. On hit the
+// entry's LRU timestamp is refreshed.
+func (c *SetAssoc[V]) Lookup(a Addr) *Entry[V] {
+	a = a.BlockAlign(c.blockSize)
+	set := c.set(a)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == a {
+			c.clock++
+			set[i].lastUse = c.clock
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Peek returns the entry holding address a without refreshing LRU state, or
+// nil on miss.
+func (c *SetAssoc[V]) Peek(a Addr) *Entry[V] {
+	a = a.BlockAlign(c.blockSize)
+	set := c.set(a)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == a {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim returns the entry that Insert would use for address a: an invalid
+// way if one exists, otherwise the least recently used unpinned way. It
+// returns nil if every way in the set is pinned.
+func (c *SetAssoc[V]) Victim(a Addr) *Entry[V] {
+	a = a.BlockAlign(c.blockSize)
+	set := c.set(a)
+	var victim *Entry[V]
+	for i := range set {
+		e := &set[i]
+		if !e.Valid {
+			return e
+		}
+		if e.pinned {
+			continue
+		}
+		if victim == nil || e.lastUse < victim.lastUse {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// Insert places address a into the cache and returns the entry plus, if a
+// valid line was displaced, a copy of the displaced entry. The new entry's
+// payload is the zero value of V; the caller fills it in. Insert panics if a
+// is already present (use Lookup first) or if all ways are pinned.
+func (c *SetAssoc[V]) Insert(a Addr) (*Entry[V], *Entry[V]) {
+	a = a.BlockAlign(c.blockSize)
+	if c.Peek(a) != nil {
+		panic(fmt.Sprintf("memsys: %s: insert of resident address %s", c.name, a))
+	}
+	victim := c.Victim(a)
+	if victim == nil {
+		panic(fmt.Sprintf("memsys: %s: all ways pinned in set of %s", c.name, a))
+	}
+	var evicted *Entry[V]
+	if victim.Valid {
+		ev := *victim
+		evicted = &ev
+	}
+	var zero V
+	c.clock++
+	*victim = Entry[V]{Valid: true, Tag: a, Payload: zero, lastUse: c.clock}
+	return victim, evicted
+}
+
+// Invalidate removes address a from the cache, returning the entry contents
+// (by copy) if it was present.
+func (c *SetAssoc[V]) Invalidate(a Addr) *Entry[V] {
+	e := c.Peek(a)
+	if e == nil {
+		return nil
+	}
+	ev := *e
+	var zero Entry[V]
+	*e = zero
+	return &ev
+}
+
+// Pin marks the line holding a as ineligible for replacement. It reports
+// whether the line was found.
+func (c *SetAssoc[V]) Pin(a Addr) bool {
+	e := c.Peek(a)
+	if e == nil {
+		return false
+	}
+	e.pinned = true
+	return true
+}
+
+// Unpin clears the replacement pin on the line holding a.
+func (c *SetAssoc[V]) Unpin(a Addr) bool {
+	e := c.Peek(a)
+	if e == nil {
+		return false
+	}
+	e.pinned = false
+	return true
+}
+
+// ForEach calls fn for every valid entry. Mutating payloads inside fn is
+// allowed; inserting or invalidating is not.
+func (c *SetAssoc[V]) ForEach(fn func(*Entry[V])) {
+	for i := range c.entries {
+		if c.entries[i].Valid {
+			fn(&c.entries[i])
+		}
+	}
+}
+
+// CountValid returns the number of valid entries.
+func (c *SetAssoc[V]) CountValid() int {
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}

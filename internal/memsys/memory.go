@@ -1,0 +1,181 @@
+package memsys
+
+// Memory is a flat physical memory with lazily allocated cache-block-sized
+// chunks. Unwritten bytes read as zero.
+type Memory struct {
+	blockSize int
+	blocks    map[Addr][]byte
+}
+
+// NewMemory returns an empty memory using the given block size.
+func NewMemory(blockSize int) *Memory {
+	if !IsPow2(blockSize) {
+		panic("memsys: memory block size must be a power of two")
+	}
+	return &Memory{blockSize: blockSize, blocks: make(map[Addr][]byte)}
+}
+
+// BlockSize returns the block size in bytes.
+func (m *Memory) BlockSize() int { return m.blockSize }
+
+// ReadBlock returns a copy of the block containing a.
+func (m *Memory) ReadBlock(a Addr) []byte {
+	a = a.BlockAlign(m.blockSize)
+	out := make([]byte, m.blockSize)
+	if b, ok := m.blocks[a]; ok {
+		copy(out, b)
+	}
+	return out
+}
+
+// WriteBlock stores data (len == blockSize) as the block containing a.
+func (m *Memory) WriteBlock(a Addr, data []byte) {
+	if len(data) != m.blockSize {
+		panic("memsys: WriteBlock length mismatch")
+	}
+	a = a.BlockAlign(m.blockSize)
+	b, ok := m.blocks[a]
+	if !ok {
+		b = make([]byte, m.blockSize)
+		m.blocks[a] = b
+	}
+	copy(b, data)
+}
+
+// ReadByte returns the byte at a.
+func (m *Memory) ByteAt(a Addr) byte {
+	b, ok := m.blocks[a.BlockAlign(m.blockSize)]
+	if !ok {
+		return 0
+	}
+	return b[a.BlockOffset(m.blockSize)]
+}
+
+// WriteByte stores v at address a.
+func (m *Memory) SetByte(a Addr, v byte) {
+	ba := a.BlockAlign(m.blockSize)
+	b, ok := m.blocks[ba]
+	if !ok {
+		b = make([]byte, m.blockSize)
+		m.blocks[ba] = b
+	}
+	b[a.BlockOffset(m.blockSize)] = v
+}
+
+// BlocksAllocated returns how many distinct blocks have been touched.
+func (m *Memory) BlocksAllocated() int { return len(m.blocks) }
+
+// oracleBlock tracks per-byte current value, previous value and the cycle of
+// the last committed store.
+type oracleBlock struct {
+	cur   []byte
+	prev  []byte
+	cycle []uint64
+}
+
+// Oracle is a byte-granular golden memory used by tests. The simulator
+// updates it at the exact simulated cycle a store commits; every load is
+// checked against the oracle value at its own commit cycle. Because the
+// baseline protocol is MESI with blocking cores and privatized lines are
+// single-writer per byte, every load must observe the latest committed store
+// to each byte — with one cycle-granularity exception: when a load and the
+// store it is logically ordered *before* commit in the same cycle (their
+// completion messages arrive together), the two events are unordered at
+// cycle resolution, so the byte's previous value is also accepted if its
+// last store committed in that same cycle.
+type Oracle struct {
+	blockSize int
+	blocks    map[Addr]*oracleBlock
+	// violations accumulates mismatch descriptions (tests assert empty).
+	violations []string
+}
+
+// NewOracle returns an empty oracle with the given block size.
+func NewOracle(blockSize int) *Oracle {
+	return &Oracle{blockSize: blockSize, blocks: make(map[Addr]*oracleBlock)}
+}
+
+func (o *Oracle) block(a Addr) *oracleBlock {
+	ba := a.BlockAlign(o.blockSize)
+	b := o.blocks[ba]
+	if b == nil {
+		b = &oracleBlock{
+			cur:   make([]byte, o.blockSize),
+			prev:  make([]byte, o.blockSize),
+			cycle: make([]uint64, o.blockSize),
+		}
+		o.blocks[ba] = b
+	}
+	return b
+}
+
+// CommitStore records that a store of value bytes at address a committed at
+// the given cycle.
+func (o *Oracle) CommitStore(a Addr, value []byte, cycle uint64) {
+	b := o.block(a)
+	off := a.BlockOffset(o.blockSize)
+	for i, v := range value {
+		b.prev[off+i] = b.cur[off+i]
+		b.cur[off+i] = v
+		b.cycle[off+i] = cycle
+	}
+}
+
+// CommitReduce records a commutative accumulation at address a: the oracle
+// adds the little-endian delta rather than overwriting, because reduction
+// commits interleave in an arbitrary (but sum-preserving) order.
+func (o *Oracle) CommitReduce(a Addr, delta []byte, cycle uint64) {
+	b := o.block(a)
+	off := a.BlockOffset(o.blockSize)
+	var carry uint16
+	for i := range delta {
+		b.prev[off+i] = b.cur[off+i]
+		s := uint16(b.cur[off+i]) + uint16(delta[i]) + carry
+		b.cur[off+i] = byte(s)
+		carry = s >> 8
+		b.cycle[off+i] = cycle
+	}
+}
+
+// CheckLoad verifies the observed bytes for a load committing at cycle and
+// records a violation on mismatch. It reports whether the load matched.
+func (o *Oracle) CheckLoad(a Addr, observed []byte, cycle uint64, context string) bool {
+	b := o.block(a)
+	off := a.BlockOffset(o.blockSize)
+	ok := true
+	for i, v := range observed {
+		want := b.cur[off+i]
+		if v == want {
+			continue
+		}
+		// Cycle-granularity tie: the byte's last store committed this very
+		// cycle; the load may legally be ordered before it.
+		if b.cycle[off+i] == cycle && v == b.prev[off+i] {
+			continue
+		}
+		ok = false
+		if len(o.violations) < 32 {
+			o.violations = append(o.violations,
+				context+": addr "+(a+Addr(i)).String()+
+					": got "+hexByte(v)+" want "+hexByte(want))
+		}
+	}
+	return ok
+}
+
+// Expected returns the oracle's current value of the byte at a.
+func (o *Oracle) Expected(a Addr) byte {
+	b := o.blocks[a.BlockAlign(o.blockSize)]
+	if b == nil {
+		return 0
+	}
+	return b.cur[a.BlockOffset(o.blockSize)]
+}
+
+// Violations returns the recorded mismatches (empty in a correct run).
+func (o *Oracle) Violations() []string { return o.violations }
+
+func hexByte(b byte) string {
+	const digits = "0123456789abcdef"
+	return "0x" + string([]byte{digits[b>>4], digits[b&0xf]})
+}

@@ -1,0 +1,127 @@
+package memsys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryZeroFill(t *testing.T) {
+	m := NewMemory(64)
+	b := m.ReadBlock(0x1234)
+	if len(b) != 64 {
+		t.Fatalf("block size %d", len(b))
+	}
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("untouched memory must read zero")
+		}
+	}
+	if m.ByteAt(0xdeadbeef) != 0 {
+		t.Fatal("untouched byte must read zero")
+	}
+	if m.BlocksAllocated() != 0 {
+		t.Fatal("reads must not allocate")
+	}
+}
+
+func TestMemoryReadWriteBlock(t *testing.T) {
+	m := NewMemory(64)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	m.WriteBlock(0x1000, data)
+	got := m.ReadBlock(0x1020) // any address in the block
+	if !bytes.Equal(got, data) {
+		t.Fatal("block round trip failed")
+	}
+	// Returned slice must be a copy.
+	got[0] = 0xff
+	if m.ByteAt(0x1000) == 0xff {
+		t.Fatal("ReadBlock must return a copy")
+	}
+}
+
+func TestMemoryByteOps(t *testing.T) {
+	m := NewMemory(64)
+	m.SetByte(0x105, 0xab)
+	if m.ByteAt(0x105) != 0xab {
+		t.Fatal("byte round trip failed")
+	}
+	if m.ByteAt(0x104) != 0 || m.ByteAt(0x106) != 0 {
+		t.Fatal("neighbouring bytes disturbed")
+	}
+	blk := m.ReadBlock(0x100)
+	if blk[5] != 0xab {
+		t.Fatal("byte not visible through block read")
+	}
+}
+
+func TestMemoryByteBlockConsistency(t *testing.T) {
+	f := func(addr uint16, v byte) bool {
+		m := NewMemory(64)
+		a := Addr(addr)
+		m.SetByte(a, v)
+		blk := m.ReadBlock(a)
+		return blk[a.BlockOffset(64)] == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOracleDetectsMismatch(t *testing.T) {
+	o := NewOracle(64)
+	o.CommitStore(0x100, []byte{1, 2, 3, 4}, 10)
+	if !o.CheckLoad(0x100, []byte{1, 2, 3, 4}, 11, "ok") {
+		t.Fatal("matching load flagged")
+	}
+	if o.CheckLoad(0x101, []byte{9}, 12, "bad") {
+		t.Fatal("mismatching load not flagged")
+	}
+	if len(o.Violations()) != 1 {
+		t.Fatalf("violations = %v", o.Violations())
+	}
+	if o.Expected(0x102) != 3 {
+		t.Fatal("Expected wrong")
+	}
+}
+
+func TestOracleOverwrite(t *testing.T) {
+	o := NewOracle(64)
+	o.CommitStore(0x40, []byte{1}, 1)
+	o.CommitStore(0x40, []byte{2}, 2)
+	if !o.CheckLoad(0x40, []byte{2}, 3, "latest") {
+		t.Fatal("oracle did not track latest store")
+	}
+}
+
+func TestOracleSameCycleTieAccepted(t *testing.T) {
+	o := NewOracle(64)
+	o.CommitStore(0x40, []byte{1}, 5)
+	o.CommitStore(0x40, []byte{2}, 9)
+	// A load committing in the same cycle as the last store may observe the
+	// previous value (the two events are unordered at cycle resolution)...
+	if !o.CheckLoad(0x40, []byte{1}, 9, "tie") {
+		t.Fatal("same-cycle previous value must be accepted")
+	}
+	// ... but one cycle later it must not.
+	if o.CheckLoad(0x40, []byte{1}, 10, "stale") {
+		t.Fatal("stale value accepted after the tie cycle")
+	}
+	// And an unrelated value is never accepted, even in the tie cycle.
+	if o.CheckLoad(0x40, []byte{7}, 9, "garbage") {
+		t.Fatal("garbage accepted in tie cycle")
+	}
+}
+
+func TestOracleViolationCap(t *testing.T) {
+	o := NewOracle(64)
+	for i := 0; i < 100; i++ {
+		o.CheckLoad(Addr(i), []byte{1}, 1, "x")
+	}
+	if len(o.Violations()) != 32 {
+		t.Fatalf("violation list should cap at 32, got %d", len(o.Violations()))
+	}
+}

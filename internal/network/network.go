@@ -1,0 +1,144 @@
+package network
+
+import (
+	"fmt"
+
+	"fscoherence/internal/stats"
+)
+
+// inflight pairs a queued message with the cycle it becomes deliverable.
+type inflight struct {
+	msg     *Msg
+	readyAt uint64
+}
+
+// chanKey identifies one ordered virtual channel.
+type chanKey struct {
+	src, dst NodeID
+	class    Class
+}
+
+// Network is a deterministic fixed-latency interconnect. Each destination has
+// a FIFO inbox; a message sent at cycle T becomes deliverable at T+Latency.
+// Delivery preserves global send order, which implies point-to-point FIFO
+// ordering between any (src,dst) pair — the ordering property the directory
+// protocol relies on.
+type Network struct {
+	Latency uint64 // cycles per traversal
+	nodes   int
+	inboxes [][]inflight // per destination, readyAt non-decreasing
+	seq     uint64
+	now     uint64
+	stats   *stats.Set
+	bs      int // block size for byte accounting
+
+	// lastReady enforces per-(src,dst,class) FIFO ordering: a later message
+	// on the same virtual channel never arrives before an earlier one, even
+	// though large data messages serialize more slowly. Cross-class
+	// overtaking (control passing data) remains possible, as on a real NoC
+	// with separate virtual networks.
+	lastReady map[chanKey]uint64
+
+	// trace, when non-nil, receives every sent message (testing/debugging).
+	trace func(cycle uint64, m *Msg)
+}
+
+// New builds a network with the given number of nodes, per-traversal latency
+// in cycles, and block size (for wire-size accounting).
+func New(nodes int, latency uint64, blockSize int, st *stats.Set) *Network {
+	return &Network{
+		Latency:   latency,
+		nodes:     nodes,
+		inboxes:   make([][]inflight, nodes),
+		stats:     st,
+		bs:        blockSize,
+		lastReady: make(map[chanKey]uint64),
+	}
+}
+
+// SetTrace installs a hook invoked for every message sent.
+func (n *Network) SetTrace(fn func(cycle uint64, m *Msg)) { n.trace = fn }
+
+// SetCycle advances the network's notion of the current cycle. The simulation
+// engine calls this once per cycle before any component runs.
+func (n *Network) SetCycle(c uint64) { n.now = c }
+
+// Nodes returns the number of endpoints.
+func (n *Network) Nodes() int { return n.nodes }
+
+// Send enqueues m for delivery after the base latency plus a serialization
+// penalty proportional to the wire size (one extra cycle per 16 bytes beyond
+// the header). Large data messages therefore travel slower than small control
+// messages and can be overtaken by them, which models separate virtual
+// networks and makes the protocol races of the paper's §V-E reachable.
+func (n *Network) Send(m *Msg) {
+	n.SendAfter(m, 0)
+}
+
+// SendAfter behaves like Send with an additional source-side delay of extra
+// cycles (used to model cache tag/data array access latency at the sender).
+func (n *Network) SendAfter(m *Msg, extra uint64) {
+	if int(m.Dst) < 0 || int(m.Dst) >= n.nodes {
+		panic(fmt.Sprintf("network: bad destination %d (%v)", m.Dst, m))
+	}
+	n.seq++
+	m.Seq = n.seq
+	serialization := uint64((SizeOf(m.Op, n.bs) - HeaderBytes) / 16)
+	readyAt := n.now + n.Latency + extra + serialization
+	key := chanKey{src: m.Src, dst: m.Dst, class: ClassOf(m.Op)}
+	if prev := n.lastReady[key]; readyAt < prev {
+		readyAt = prev
+	}
+	n.lastReady[key] = readyAt
+	q := n.inboxes[m.Dst]
+	q = append(q, inflight{msg: m, readyAt: readyAt})
+	// Keep the inbox sorted by (readyAt, seq): stable insertion from the back.
+	for i := len(q) - 1; i > 0 && q[i-1].readyAt > q[i].readyAt; i-- {
+		q[i-1], q[i] = q[i], q[i-1]
+	}
+	n.inboxes[m.Dst] = q
+
+	n.stats.Inc(stats.CtrNetMessages)
+	n.stats.Add(stats.CtrNetBytes, uint64(SizeOf(m.Op, n.bs)))
+	n.stats.Inc("net.msg." + ClassOf(m.Op).String())
+	n.stats.Add("net.bytes."+ClassOf(m.Op).String(), uint64(SizeOf(m.Op, n.bs)))
+	n.stats.Inc("net.op." + m.Op.String())
+	if n.trace != nil {
+		n.trace(n.now, m)
+	}
+}
+
+// Recv pops the next deliverable message for node dst at the current cycle,
+// or returns nil if none is ready. Messages are delivered strictly in send
+// order per destination.
+func (n *Network) Recv(dst NodeID) *Msg {
+	q := n.inboxes[dst]
+	if len(q) == 0 || q[0].readyAt > n.now {
+		return nil
+	}
+	m := q[0].msg
+	n.inboxes[dst] = q[1:]
+	return m
+}
+
+// Peek returns the next deliverable message for dst without removing it, or
+// nil if none is ready this cycle.
+func (n *Network) Peek(dst NodeID) *Msg {
+	q := n.inboxes[dst]
+	if len(q) == 0 || q[0].readyAt > n.now {
+		return nil
+	}
+	return q[0].msg
+}
+
+// Pending returns the total number of in-flight messages (delivered or not).
+func (n *Network) Pending() int {
+	total := 0
+	for _, q := range n.inboxes {
+		total += len(q)
+	}
+	return total
+}
+
+// PendingFor returns the number of queued messages for one destination.
+func (n *Network) PendingFor(dst NodeID) int { return len(n.inboxes[dst]) }

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/cpu"
+	"fscoherence/internal/memsys"
+	"fscoherence/internal/network"
+)
+
+// TestDebugLockTrace is a development aid: it reproduces the locked-counter
+// oracle failure on a minimal configuration with message tracing. Skipped
+// unless -run selects it explicitly with -v.
+func TestDebugLockTrace(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("debug tracing test; run with -v -run TestDebugLockTrace")
+	}
+	cfg := testConfig(coherence.Baseline)
+	lock, counter := addr(0, 0), addr(1, 0)
+	const threads, iters = 3, 4
+	mk := func(id int) cpu.ThreadFunc {
+		return func(c *cpu.Ctx) {
+			for i := 0; i < iters; i++ {
+				c.LockAcquire(lock)
+				v := c.Load(counter, 8)
+				c.StoreSync(counter, 8, v+1)
+				c.LockRelease(lock)
+			}
+		}
+	}
+	var ths []cpu.ThreadFunc
+	for i := 0; i < threads; i++ {
+		ths = append(ths, mk(i))
+	}
+	s := New(cfg, Workload{Name: "dbg", Threads: ths})
+	lockBlk := lock.BlockAlign(64)
+	s.net.SetTrace(func(cycle uint64, m *network.Msg) {
+		if m.Addr.BlockAlign(64) == lockBlk {
+			fmt.Printf("C%06d msg %s\n", cycle, m)
+		}
+	})
+	s.SetCommitTrace(func(cycle uint64, core int, kind string, a memsys.Addr, v []byte) {
+		if a.BlockAlign(64) == lockBlk {
+			fmt.Printf("C%06d commit core%d %s %v = %v\n", cycle, core, kind, a, v[0])
+		}
+	})
+	res, err := s.Run("dbg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.OracleViolations {
+		t.Errorf("oracle: %s", v)
+	}
+	_ = memsys.Addr(0)
+	_ = counter
+}

@@ -1,0 +1,345 @@
+// Package sim assembles and runs a complete simulated system: cores, L1
+// controllers, interconnect, LLC/directory slices and backing memory, with
+// optional FSDetect/FSLite policies attached, a golden-memory oracle and an
+// SWMR invariant checker for the test suite.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/core"
+	"fscoherence/internal/cpu"
+	"fscoherence/internal/memsys"
+	"fscoherence/internal/network"
+	"fscoherence/internal/stats"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Params coherence.Params
+	Mode   coherence.Protocol
+
+	// Core holds the FSDetect/FSLite tunables; ignored in Baseline mode.
+	// Cores/BlockSize/Mode are filled in from Params automatically.
+	Core core.Config
+
+	// OOO selects the out-of-order core model with the given width and ROB
+	// size; MSHRs sets the per-L1 miss concurrency (1 for in-order).
+	OOO      bool
+	OOOWidth int
+	ROBSize  int
+	MSHRs    int
+
+	// CheckOracle verifies every load against a byte-granular golden
+	// memory; CheckSWMR scans coherence states every SWMRPeriod cycles.
+	CheckOracle bool
+	CheckSWMR   bool
+	SWMRPeriod  uint64
+
+	// MaxCycles aborts the run as deadlocked when exceeded (0 = 500M).
+	MaxCycles uint64
+}
+
+// DefaultConfig returns a Table II system in the given protocol mode with
+// verification disabled.
+func DefaultConfig(mode coherence.Protocol) Config {
+	p := coherence.DefaultParams()
+	return Config{
+		Params:     p,
+		Mode:       mode,
+		Core:       core.DefaultConfig(p.Cores, p.BlockSize, mode),
+		OOOWidth:   8,
+		ROBSize:    192,
+		MSHRs:      1,
+		SWMRPeriod: 64,
+	}
+}
+
+// Workload supplies one thread function per core. Threads with index >=
+// len(Threads) idle. A nil entry also idles.
+type Workload struct {
+	Name    string
+	Threads []cpu.ThreadFunc
+
+	// ReductionRegions are §VII reduction declarations registered with
+	// every directory slice (FSDetect/FSLite modes).
+	ReductionRegions []coherence.AddrRange
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Name       string
+	Mode       coherence.Protocol
+	Cycles     uint64
+	Stats      *stats.Set
+	Detections []core.Detection
+
+	// Contended lists contended truly-shared lines (typically lock words) —
+	// the §VII detection extension.
+	Contended []core.Detection
+
+	// OracleViolations and SWMRViolations are non-empty only when the
+	// corresponding checks were enabled and a protocol bug was observed.
+	OracleViolations []string
+	SWMRViolations   []string
+}
+
+// System is an assembled simulation ready to run.
+type System struct {
+	cfg    Config
+	stats  *stats.Set
+	net    *network.Network
+	mem    *memsys.Memory
+	l1s    []*coherence.L1
+	dirs   []*coherence.Dir
+	cores  []cpu.Core
+	oracle *memsys.Oracle
+	quit   chan struct{}
+	cycle  uint64
+
+	dirPolicies []*core.DirSide
+	swmrBad     []string
+
+	// commitTrace, when set (tests), receives every architectural commit.
+	commitTrace func(cycle uint64, core int, kind string, a memsys.Addr, v []byte)
+
+	// cycleHook, when set (tests), runs at the start of every cycle.
+	cycleHook func(cycle uint64)
+}
+
+// SetCommitTrace installs a commit hook (testing/debugging).
+func (s *System) SetCommitTrace(fn func(cycle uint64, core int, kind string, a memsys.Addr, v []byte)) {
+	s.commitTrace = fn
+}
+
+// SetCycleHook installs a function invoked at the start of every cycle
+// (testing: fault injection, external-socket accesses, live inspection).
+func (s *System) SetCycleHook(fn func(cycle uint64)) { s.cycleHook = fn }
+
+// observer adapts the oracle to the coherence.Observer interface.
+type observer struct {
+	o *memsys.Oracle
+	s *System
+}
+
+func (ob observer) OnLoadCommit(c int, a memsys.Addr, v []byte) {
+	ob.o.CheckLoad(a, v, ob.s.cycle, fmt.Sprintf("cycle %d core %d load", ob.s.cycle, c))
+	if ob.s.commitTrace != nil {
+		ob.s.commitTrace(ob.s.cycle, c, "load", a, v)
+	}
+}
+func (ob observer) OnStoreCommit(c int, a memsys.Addr, v []byte) {
+	ob.o.CommitStore(a, v, ob.s.cycle)
+	if ob.s.commitTrace != nil {
+		ob.s.commitTrace(ob.s.cycle, c, "store", a, v)
+	}
+}
+func (ob observer) OnReduceCommit(c int, a memsys.Addr, delta []byte) {
+	ob.o.CommitReduce(a, delta, ob.s.cycle)
+	if ob.s.commitTrace != nil {
+		ob.s.commitTrace(ob.s.cycle, c, "reduce", a, delta)
+	}
+}
+
+// New assembles a system for the workload.
+func New(cfg Config, wl Workload) *System {
+	p := cfg.Params
+	st := stats.NewSet()
+	s := &System{
+		cfg:   cfg,
+		stats: st,
+		net:   network.New(p.Nodes(), p.NetLatency, p.BlockSize, st),
+		mem:   memsys.NewMemory(p.BlockSize),
+		quit:  make(chan struct{}),
+	}
+
+	var obs coherence.Observer
+	if cfg.CheckOracle {
+		s.oracle = memsys.NewOracle(p.BlockSize)
+		obs = observer{s.oracle, s}
+	}
+
+	cc := cfg.Core
+	cc.Cores = p.Cores
+	cc.BlockSize = p.BlockSize
+	cc.Mode = cfg.Mode
+	cc.Now = func() uint64 { return s.cycle }
+
+	for i := 0; i < p.Cores; i++ {
+		var pol coherence.L1Policy
+		if cfg.Mode != coherence.Baseline {
+			pol = core.NewPAM(cc, i, st)
+		}
+		l1 := coherence.NewL1(i, p, cfg.Mode, s.net, pol, st, obs)
+		if cfg.MSHRs > 1 {
+			l1.SetMaxMSHRs(cfg.MSHRs)
+		}
+		s.l1s = append(s.l1s, l1)
+	}
+	for i := 0; i < p.Slices; i++ {
+		var pol coherence.DirPolicy
+		if cfg.Mode != coherence.Baseline {
+			ds := core.NewDirSide(cc, i, st)
+			for _, r := range wl.ReductionRegions {
+				ds.RegisterReduction(r)
+			}
+			s.dirPolicies = append(s.dirPolicies, ds)
+			pol = ds
+		}
+		s.dirs = append(s.dirs, coherence.NewDir(i, p, cfg.Mode, s.net, s.mem, pol, st))
+	}
+	for i := 0; i < p.Cores; i++ {
+		var fn cpu.ThreadFunc
+		if i < len(wl.Threads) {
+			fn = wl.Threads[i]
+		}
+		if fn == nil {
+			fn = func(*cpu.Ctx) {}
+		}
+		if cfg.OOO {
+			s.cores = append(s.cores, cpu.NewOOO(i, s.l1s[i], fn, s.quit, cfg.OOOWidth, cfg.ROBSize, st))
+		} else {
+			s.cores = append(s.cores, cpu.NewInOrder(i, s.l1s[i], fn, s.quit, st))
+		}
+	}
+	return s
+}
+
+// Dir returns directory slice i (testing and multi-socket hooks).
+func (s *System) Dir(i int) *coherence.Dir { return s.dirs[i] }
+
+// L1 returns core i's L1 controller (testing).
+func (s *System) L1(i int) *coherence.L1 { return s.l1s[i] }
+
+// ErrDeadlock is returned when the simulation exceeds MaxCycles.
+var ErrDeadlock = errors.New("sim: cycle limit exceeded (deadlock?)")
+
+// DumpState summarizes every component's in-flight work (deadlock triage).
+func (s *System) DumpState() string {
+	out := fmt.Sprintf("cycle=%d net.pending=%d\n", s.cycle, s.net.Pending())
+	for _, l := range s.l1s {
+		if d := l.DebugString(); d != "" {
+			out += d + "\n"
+		}
+	}
+	for _, d := range s.dirs {
+		if ds := d.DebugString(); ds != "" {
+			out += ds + "\n"
+		}
+	}
+	for i, c := range s.cores {
+		if !c.Finished() {
+			out += fmt.Sprintf("core %d not finished\n", i)
+		}
+	}
+	return out
+}
+
+// Run executes the simulation to completion.
+func (s *System) Run(name string) (*Result, error) {
+	defer close(s.quit)
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 500_000_000
+	}
+	for {
+		s.cycle++
+		if s.cycle > maxCycles {
+			return nil, fmt.Errorf("%w at cycle %d (%s)", ErrDeadlock, s.cycle, name)
+		}
+		s.net.SetCycle(s.cycle)
+		if s.cycleHook != nil {
+			s.cycleHook(s.cycle)
+		}
+		for _, d := range s.dirs {
+			d.Tick(s.cycle)
+		}
+		for _, l := range s.l1s {
+			l.Tick(s.cycle)
+		}
+		for _, c := range s.cores {
+			c.Tick(s.cycle)
+		}
+		if s.cfg.CheckSWMR && s.cycle%s.cfg.SWMRPeriod == 0 {
+			s.checkSWMR()
+		}
+		if s.done() {
+			break
+		}
+	}
+	s.stats.Set(stats.CtrCycles, s.cycle)
+	res := &Result{
+		Name:   name,
+		Mode:   s.cfg.Mode,
+		Cycles: s.cycle,
+		Stats:  s.stats,
+	}
+	for _, dp := range s.dirPolicies {
+		res.Detections = append(res.Detections, dp.Detections()...)
+		res.Contended = append(res.Contended, dp.ContendedLines()...)
+	}
+	if s.oracle != nil {
+		res.OracleViolations = s.oracle.Violations()
+	}
+	res.SWMRViolations = s.swmrBad
+	return res, nil
+}
+
+// done reports whether every thread finished and the system quiesced.
+func (s *System) done() bool {
+	for _, c := range s.cores {
+		if !c.Finished() {
+			return false
+		}
+	}
+	if s.net.Pending() != 0 {
+		return false
+	}
+	for _, l := range s.l1s {
+		if !l.Idle() {
+			return false
+		}
+	}
+	for _, d := range s.dirs {
+		if !d.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSWMR validates the single-writer/multiple-reader invariant across all
+// L1s: at most one E/M copy of any block, never alongside S copies; PRV
+// copies may coexist only with S copies mid-privatization, never with E/M.
+func (s *System) checkSWMR() {
+	if len(s.swmrBad) >= 16 {
+		return
+	}
+	type count struct{ em, sh, prv int }
+	m := make(map[memsys.Addr]*count)
+	for _, l1 := range s.l1s {
+		l1.ForEachLine(func(a memsys.Addr, st coherence.L1State) {
+			c := m[a]
+			if c == nil {
+				c = &count{}
+				m[a] = c
+			}
+			switch st {
+			case coherence.L1Exclusive, coherence.L1Modified:
+				c.em++
+			case coherence.L1Shared:
+				c.sh++
+			case coherence.L1Prv:
+				c.prv++
+			}
+		})
+	}
+	for a, c := range m {
+		if c.em > 1 || (c.em > 0 && (c.sh > 0 || c.prv > 0)) {
+			s.swmrBad = append(s.swmrBad,
+				fmt.Sprintf("cycle %d block %v: EM=%d S=%d PRV=%d", s.cycle, a, c.em, c.sh, c.prv))
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package stats provides deterministic counter collection for the simulator.
+//
+// Every component in the simulated memory hierarchy increments named counters
+// through a shared *Set. Counters are plain uint64 values: the simulator is
+// single-threaded by design, so no synchronization is needed, and snapshots
+// are fully deterministic for a given configuration and workload seed.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a collection of named counters.
+//
+// The zero value is not usable; construct with NewSet.
+type Set struct {
+	counters map[string]uint64
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{counters: make(map[string]uint64)}
+}
+
+// Add increments counter name by delta.
+func (s *Set) Add(name string, delta uint64) {
+	s.counters[name] += delta
+}
+
+// Inc increments counter name by one.
+func (s *Set) Inc(name string) {
+	s.counters[name]++
+}
+
+// Get returns the current value of counter name (zero if never incremented).
+func (s *Set) Get(name string) uint64 {
+	return s.counters[name]
+}
+
+// Set stores an absolute value for counter name, replacing any prior value.
+func (s *Set) Set(name string, v uint64) {
+	s.counters[name] = v
+}
+
+// Max raises counter name to v if v is larger than the current value.
+func (s *Set) Max(name string, v uint64) {
+	if v > s.counters[name] {
+		s.counters[name] = v
+	}
+}
+
+// Names returns the sorted list of counter names present in the set.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counters.
+func (s *Set) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds every counter of other into s.
+func (s *Set) Merge(other *Set) {
+	for k, v := range other.counters {
+		s.counters[k] += v
+	}
+}
+
+// Reset removes all counters.
+func (s *Set) Reset() {
+	s.counters = make(map[string]uint64)
+}
+
+// SumPrefix returns the sum of all counters whose name begins with prefix.
+func (s *Set) SumPrefix(prefix string) uint64 {
+	var sum uint64
+	for k, v := range s.counters {
+		if strings.HasPrefix(k, prefix) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// String renders the counters one per line, sorted by name.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&b, "%-48s %d\n", n, s.counters[n])
+	}
+	return b.String()
+}
+
+// Ratio returns num/den as a float64, or 0 if the denominator counter is zero.
+func (s *Set) Ratio(num, den string) float64 {
+	d := s.Get(den)
+	if d == 0 {
+		return 0
+	}
+	return float64(s.Get(num)) / float64(d)
+}
+
+// Canonical counter names shared across the simulator. Components may define
+// additional ad hoc counters, but anything consumed by the experiment harness
+// must be listed here so the dependency is explicit and greppable.
+const (
+	// Core-side demand access counters.
+	CtrL1DAccesses = "l1d.accesses"
+	CtrL1DHits     = "l1d.hits"
+	CtrL1DMisses   = "l1d.misses"
+	CtrL1DFills    = "l1d.fills"
+	CtrL1DEvicts   = "l1d.evictions"
+	CtrL1DWbDirty  = "l1d.writebacks_dirty"
+
+	// LLC / directory counters.
+	CtrLLCAccesses = "llc.accesses"
+	CtrLLCHits     = "llc.hits"
+	CtrLLCMisses   = "llc.misses"
+	CtrLLCFills    = "llc.fills"
+	CtrLLCEvicts   = "llc.evictions"
+	CtrDirInval    = "dir.invalidations"
+	CtrDirInterv   = "dir.interventions"
+	CtrDirFetchReq = "dir.fetch_requests"
+	CtrDirPendingQ = "dir.pending_queued"
+	CtrMemReads    = "mem.reads"
+	CtrMemWrites   = "mem.writes"
+
+	// Network counters (also broken down per message class by the network).
+	CtrNetMessages = "net.messages"
+	CtrNetBytes    = "net.bytes"
+
+	// FSDetect / FSLite counters.
+	CtrFSDetected        = "fs.lines_detected"
+	CtrFSPrivatized      = "fs.privatizations"
+	CtrFSPrivAborted     = "fs.privatization_aborts"
+	CtrFSTerminations    = "fs.terminations"
+	CtrFSTermConflict    = "fs.terminations_conflict"
+	CtrFSTermEviction    = "fs.terminations_eviction"
+	CtrFSTermSAMEvict    = "fs.terminations_sam_evict"
+	CtrFSTermExternal    = "fs.terminations_external"
+	CtrFSChkRequests     = "fs.chk_requests"
+	CtrFSMetadataMsgs    = "fs.metadata_messages"
+	CtrFSPhantomMsgs     = "fs.phantom_messages"
+	CtrFSTrueSharing     = "fs.true_sharing_marks"
+	CtrFSMetadataResets  = "fs.metadata_resets"
+	CtrFSHysteresisBlock = "fs.hysteresis_blocked"
+	CtrFSContended       = "fs.contended_lines"
+	CtrSAMReplacements   = "sam.valid_replacements"
+	CtrSAMLookups        = "sam.lookups"
+	CtrPAMUpdates        = "pam.updates"
+
+	// CPU counters.
+	CtrOpsCommitted   = "cpu.ops_committed"
+	CtrLoadsCommitted = "cpu.loads"
+	CtrStoresCommit   = "cpu.stores"
+	CtrAtomicsCommit  = "cpu.atomics"
+	CtrComputeCycles  = "cpu.compute_cycles"
+	CtrStallCycles    = "cpu.stall_cycles"
+	CtrCommitStalls   = "cpu.commit_stalls"
+
+	// Simulation-level.
+	CtrCycles = "sim.cycles"
+)

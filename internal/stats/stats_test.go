@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	if s.Get("x") != 0 {
+		t.Fatal("fresh counter must be zero")
+	}
+	s.Inc("x")
+	s.Add("x", 4)
+	if s.Get("x") != 5 {
+		t.Fatalf("x = %d, want 5", s.Get("x"))
+	}
+	s.Set("x", 2)
+	if s.Get("x") != 2 {
+		t.Fatal("Set failed")
+	}
+	s.Max("x", 10)
+	s.Max("x", 3)
+	if s.Get("x") != 10 {
+		t.Fatal("Max failed")
+	}
+}
+
+func TestSetNamesSorted(t *testing.T) {
+	s := NewSet()
+	s.Inc("b")
+	s.Inc("a")
+	s.Inc("c")
+	names := s.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := NewSet()
+	s.Add("a", 1)
+	snap := s.Snapshot()
+	s.Add("a", 1)
+	if snap["a"] != 1 || s.Get("a") != 2 {
+		t.Fatal("snapshot not isolated")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Fatalf("merge: %v", a.Snapshot())
+	}
+}
+
+func TestSumPrefixAndRatio(t *testing.T) {
+	s := NewSet()
+	s.Add("net.msg.req", 2)
+	s.Add("net.msg.rsp", 3)
+	s.Add("other", 10)
+	if s.SumPrefix("net.msg.") != 5 {
+		t.Fatalf("SumPrefix = %d", s.SumPrefix("net.msg."))
+	}
+	s.Set("hits", 30)
+	s.Set("accesses", 60)
+	if r := s.Ratio("hits", "accesses"); r != 0.5 {
+		t.Fatalf("Ratio = %v", r)
+	}
+	if r := s.Ratio("hits", "nonexistent"); r != 0 {
+		t.Fatal("Ratio with zero denominator must be 0")
+	}
+}
+
+func TestResetAndString(t *testing.T) {
+	s := NewSet()
+	s.Add("alpha", 7)
+	if !strings.Contains(s.String(), "alpha") {
+		t.Fatal("String missing counter")
+	}
+	s.Reset()
+	if len(s.Names()) != 0 {
+		t.Fatal("Reset left counters behind")
+	}
+}

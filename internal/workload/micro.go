@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/cpu"
+	"fscoherence/internal/memsys"
+)
+
+// Feather-style validation microbenchmarks (§VIII-A: "We evaluate the
+// correctness of our protocols on several custom-designed micro-benchmarks
+// and with programs provided by Feather").
+
+// buildMicroWW — pure write-write false sharing: each thread RMWs its own
+// 8-byte slot of one line as fast as possible.
+func buildMicroWW(v Variant, s Scale) []cpu.ThreadFunc {
+	a := NewArena()
+	slots := a.Array(threadsFS, 8, strideFor(v, 8, true))
+	iters := s.n(1500)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		slot := slots[t]
+		ths = append(ths, func(c *cpu.Ctx) {
+			for i := 0; i < iters; i++ {
+				c.AtomicAdd(slot, 8, 1)
+			}
+		})
+	}
+	return ths
+}
+
+// buildMicroRW — read-write false sharing: one writer updates its slot while
+// the other threads spin reading their own (disjoint) slots of the line.
+func buildMicroRW(v Variant, s Scale) []cpu.ThreadFunc {
+	a := NewArena()
+	slots := a.Array(threadsFS, 8, strideFor(v, 8, true))
+	iters := s.n(1200)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		t := t
+		slot := slots[t]
+		ths = append(ths, func(c *cpu.Ctx) {
+			for i := 0; i < iters; i++ {
+				if t == 0 {
+					c.Store(slot, 8, uint64(i))
+				} else {
+					c.Load(slot, 8)
+				}
+				c.Compute(1)
+			}
+		})
+	}
+	return ths
+}
+
+// buildMicroTS — true sharing control: all threads atomically update the
+// same word. FSDetect must not flag it and FSLite must not privatize it.
+func buildMicroTS(v Variant, s Scale) []cpu.ThreadFunc {
+	a := NewArena()
+	word := a.AllocLine()
+	iters := s.n(600)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		ths = append(ths, func(c *cpu.Ctx) {
+			for i := 0; i < iters; i++ {
+				c.AtomicAdd(word, 8, 1)
+				c.Compute(2)
+			}
+		})
+	}
+	return ths
+}
+
+// buildMicroPhased — the §VI data-initialization scenario: the main thread
+// writes every slot once (a short-lived write-write true sharing with the
+// workers), then workers enter a long falsely shared phase. Without the
+// periodic metadata reset, the stale TS bit would block privatization
+// forever.
+func buildMicroPhased(v Variant, s Scale) []cpu.ThreadFunc {
+	a := NewArena()
+	slots := a.Array(threadsFS, 8, strideFor(v, 8, true))
+	bar := a.Barrier(threadsFS)
+	iters := s.n(2000)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		t := t
+		slot := slots[t]
+		ths = append(ths, func(c *cpu.Ctx) {
+			var sense uint64
+			if t == 0 {
+				for _, sl := range slots {
+					c.Store(sl, 8, 1) // initialization by the main thread
+				}
+			}
+			bar.Wait(c, &sense)
+			for i := 0; i < iters; i++ {
+				c.AtomicAdd(slot, 8, 1)
+				c.Compute(2)
+			}
+		})
+	}
+	return ths
+}
+
+// buildMicroDoS — the interconnect denial-of-service pattern sketched in the
+// paper's introduction: a very high volume of falsely shared lines hammered
+// concurrently, flooding the network with invalidations and interventions.
+func buildMicroDoS(v Variant, s Scale) []cpu.ThreadFunc {
+	a := NewArena()
+	const lines = 16
+	slotsByLine := make([][]memsys.Addr, lines)
+	for l := range slotsByLine {
+		slotsByLine[l] = a.Array(threadsFS, 8, strideFor(v, 8, true))
+	}
+	iters := s.n(800)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		t := t
+		ths = append(ths, func(c *cpu.Ctx) {
+			for i := 0; i < iters; i++ {
+				c.AtomicAdd(slotsByLine[i%lines][t], 8, 1)
+			}
+		})
+	}
+	return ths
+}
+
+// buildMicroRED — the §VII reduction extension: all threads accumulate into
+// the SAME words of a declared reduction region. Under plain atomics (uTS)
+// this is heavy true sharing; with the region declared, FSLite privatizes
+// the line and each core accumulates locally, with the directory summing the
+// per-core deltas at merge time.
+func buildMicroRED(v Variant, s Scale) ([]cpu.ThreadFunc, []coherence.AddrRange) {
+	a := NewArena()
+	const words = 4
+	base := a.Alloc(words*8, lineSize)
+	region := coherence.AddrRange{Start: base, Size: words * 8}
+	bar := a.Barrier(threadsFS + 1)
+	iters := s.n(600)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		t := t
+		ths = append(ths, func(c *cpu.Ctx) {
+			var sense uint64
+			for i := 0; i < iters; i++ {
+				c.Reduce(base+memsys.Addr(8*((t+i)%words)), 8, 1)
+				c.Compute(2)
+			}
+			bar.Wait(c, &sense)
+		})
+	}
+	// A non-participating consumer reads the accumulators after the
+	// reduction phase (the runtime's reduction epilogue): its loads conflict
+	// with the recorded reduction writers, forcing the directory to merge
+	// the outstanding privatized copies, and return the exact sums.
+	ths = append(ths, func(c *cpu.Ctx) {
+		var sense uint64
+		bar.Wait(c, &sense)
+		for w := 0; w < words; w++ {
+			c.Load(base+memsys.Addr(8*w), 8)
+		}
+	})
+	return ths, []coherence.AddrRange{region}
+}
+
+func init() {
+	register(&Spec{Name: "uRED", Full: "micro parallel reduction", Suite: "micro", Threads: threadsFS + 1, BuildR: buildMicroRED})
+	register(&Spec{Name: "uWW", Full: "micro write-write FS", Suite: "micro", FalseSharing: true, Threads: threadsFS, Build: buildMicroWW})
+	register(&Spec{Name: "uRW", Full: "micro read-write FS", Suite: "micro", FalseSharing: true, Threads: threadsFS, Build: buildMicroRW})
+	register(&Spec{Name: "uTS", Full: "micro true sharing", Suite: "micro", Threads: threadsFS, Build: buildMicroTS})
+	register(&Spec{Name: "uPH", Full: "micro phased init-then-FS", Suite: "micro", FalseSharing: true, Threads: threadsFS, Build: buildMicroPhased})
+	register(&Spec{Name: "uDoS", Full: "micro interconnect DoS", Suite: "micro", FalseSharing: true, Threads: threadsFS, Build: buildMicroDoS})
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fscoherence/internal/cpu"
+	"fscoherence/internal/memsys"
+)
+
+// The six PARSEC benchmarks without false sharing (Table III / Fig. 15).
+// FSLite must leave their performance and energy essentially untouched
+// (within ~0.1% in the paper).
+
+// buildBL — Blackscholes: embarrassingly parallel option pricing; private
+// streaming over option data with barrier-separated rounds.
+func buildBL(v Variant, s Scale) []cpu.ThreadFunc {
+	a := NewArena()
+	bar := a.Barrier(threadsFS)
+	rounds := s.n(6)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		region := a.privateRegion(200)
+		ths = append(ths, func(c *cpu.Ctx) {
+			var sense uint64
+			pos := 0
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < 150; i++ {
+					streamTouch(c, region, pos, 200)
+					pos++
+					c.Compute(8) // the Black-Scholes kernel is compute heavy
+				}
+				bar.Wait(c, &sense)
+			}
+		})
+	}
+	return ths
+}
+
+// buildBO — Bodytrack: private compute over particles plus a read-shared
+// model and an occasional work-queue lock (true sharing).
+func buildBO(v Variant, s Scale) []cpu.ThreadFunc {
+	a := NewArena()
+	model := a.Alloc(128*lineSize, lineSize) // shared read-only body model
+	lock := a.AllocLine()
+	queue := a.AllocLine() // truly shared work counter
+	iters := s.n(350)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		t := t
+		ths = append(ths, func(c *cpu.Ctx) {
+			priv := newPrivMix(a, 96)
+			for i := 0; i < iters; i++ {
+				c.Load(model+memsys.Addr(((i*7+t)%128)*lineSize), 8)
+				priv.touch(c, 5)
+				c.Compute(6)
+				if i%24 == 0 {
+					c.LockAcquire(lock)
+					c.Store(queue, 8, c.Load(queue, 8)+1)
+					c.LockRelease(lock)
+				}
+			}
+		})
+	}
+	return ths
+}
+
+// buildCA — Canneal: cache-unfriendly random walks over a large element
+// array with occasional truly shared atomic swaps.
+func buildCA(v Variant, s Scale) []cpu.ThreadFunc {
+	a := NewArena()
+	elements := a.Alloc(2048*lineSize, lineSize) // shared netlist elements
+	iters := s.n(500)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		t := t
+		ths = append(ths, func(c *cpu.Ctx) {
+			state := uint64(t*2654435761 + 1)
+			for i := 0; i < iters; i++ {
+				// Pseudo-random pointer chase over the shared array; mostly
+				// reads, occasionally an atomic swap of an element field.
+				state = state*6364136223846793005 + 1442695040888963407
+				e := elements + memsys.Addr((state%2048)*lineSize)
+				c.Load(e, 8)
+				if i%16 == 0 {
+					c.AtomicAdd(e+8, 8, 1)
+				}
+				c.Compute(4)
+			}
+		})
+	}
+	return ths
+}
+
+// buildFA — Facesim: heavy private streaming (large frames) with barriers.
+func buildFA(v Variant, s Scale) []cpu.ThreadFunc {
+	a := NewArena()
+	bar := a.Barrier(threadsFS)
+	rounds := s.n(4)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		region := a.privateRegion(900)
+		ths = append(ths, func(c *cpu.Ctx) {
+			var sense uint64
+			pos := 0
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < 260; i++ {
+					streamTouch(c, region, pos, 900)
+					pos++
+					c.Compute(5)
+				}
+				bar.Wait(c, &sense)
+			}
+		})
+	}
+	return ths
+}
+
+// buildFL — Fluidanimate: grid partitions with boundary locks shared by
+// neighbouring threads (true sharing) plus private cell updates.
+func buildFL(v Variant, s Scale) []cpu.ThreadFunc {
+	a := NewArena()
+	// One boundary lock between each pair of adjacent threads.
+	borders := a.Array(threadsFS, 8, lineSize)
+	iters := s.n(300)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		t := t
+		ths = append(ths, func(c *cpu.Ctx) {
+			priv := newPrivMix(a, 80)
+			for i := 0; i < iters; i++ {
+				priv.touch(c, 6)
+				c.Compute(5)
+				if i%8 == 0 {
+					// Update a boundary cell under the neighbour lock.
+					b := borders[(t+i/8)%threadsFS]
+					c.LockAcquire(b)
+					c.Store(b+16, 8, uint64(i))
+					c.LockRelease(b)
+				}
+			}
+		})
+	}
+	return ths
+}
+
+// buildSW — Swaptions: compute-dominated Monte Carlo simulation over a tiny
+// private working set; essentially no misses after warmup.
+func buildSW(v Variant, s Scale) []cpu.ThreadFunc {
+	a := NewArena()
+	iters := s.n(500)
+	var ths []cpu.ThreadFunc
+	for t := 0; t < threadsFS; t++ {
+		region := a.privateRegion(24)
+		ths = append(ths, func(c *cpu.Ctx) {
+			pos := 0
+			for i := 0; i < iters; i++ {
+				streamTouch(c, region, pos, 24)
+				pos++
+				c.Compute(14)
+			}
+		})
+	}
+	return ths
+}
+
+func init() {
+	register(&Spec{Name: "BL", Full: "Blackscholes", Suite: "PARSEC", Threads: threadsFS, Build: buildBL})
+	register(&Spec{Name: "BO", Full: "Bodytrack", Suite: "PARSEC", Threads: threadsFS, Build: buildBO})
+	register(&Spec{Name: "CA", Full: "Canneal", Suite: "PARSEC", Threads: threadsFS, Build: buildCA})
+	register(&Spec{Name: "FA", Full: "Facesim", Suite: "PARSEC", Threads: threadsFS, Build: buildFA})
+	register(&Spec{Name: "FL", Full: "Fluidanimate", Suite: "PARSEC", Threads: threadsFS, Build: buildFL})
+	register(&Spec{Name: "SW", Full: "Swaptions", Suite: "PARSEC", Threads: threadsFS, Build: buildSW})
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"testing"
+
+	"fscoherence/internal/memsys"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Table III: 8 false-sharing + 6 PARSEC benchmarks, plus micros.
+	for _, set := range [][]string{FalseSharingSet(), NoFalseSharingSet(), HuronSet()} {
+		for _, n := range set {
+			s, err := ByName(n)
+			if err != nil {
+				t.Fatalf("missing benchmark %s: %v", n, err)
+			}
+			if s.Build == nil || s.Threads <= 0 {
+				t.Fatalf("benchmark %s incomplete", n)
+			}
+		}
+	}
+	if len(Names()) < 14 {
+		t.Fatalf("only %d benchmarks registered", len(Names()))
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+}
+
+func TestFalseSharingFlagsMatchSets(t *testing.T) {
+	for _, n := range FalseSharingSet() {
+		s, _ := ByName(n)
+		if !s.FalseSharing {
+			t.Errorf("%s should be marked as false sharing", n)
+		}
+	}
+	for _, n := range NoFalseSharingSet() {
+		s, _ := ByName(n)
+		if s.FalseSharing {
+			t.Errorf("%s should not be marked as false sharing", n)
+		}
+	}
+}
+
+func TestBuildProducesThreadFuncs(t *testing.T) {
+	for _, n := range Names() {
+		s, _ := ByName(n)
+		for _, v := range []Variant{VariantDefault, VariantPadded, VariantHuron} {
+			ths := s.Build(v, 0.01)
+			if len(ths) != s.Threads {
+				t.Fatalf("%s/%v: %d threads, want %d", n, v, len(ths), s.Threads)
+			}
+			for i, fn := range ths {
+				if fn == nil {
+					t.Fatalf("%s/%v thread %d is nil", n, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestArenaAlignmentAndDisjointness(t *testing.T) {
+	a := NewArena()
+	l1 := a.AllocLine()
+	l2 := a.AllocLine()
+	if l1.BlockOffset(64) != 0 || l2.BlockOffset(64) != 0 {
+		t.Fatal("lines not aligned")
+	}
+	if l1.BlockAlign(64) == l2.BlockAlign(64) {
+		t.Fatal("lines overlap")
+	}
+	p := a.Alloc(24, 8)
+	if p%8 != 0 {
+		t.Fatal("alignment violated")
+	}
+}
+
+func TestArrayStride(t *testing.T) {
+	a := NewArena()
+	packed := a.Array(4, 8, 8)
+	for i := 1; i < 4; i++ {
+		if packed[i]-packed[i-1] != 8 {
+			t.Fatal("packed stride wrong")
+		}
+	}
+	// All four packed elements share one line.
+	for i := 1; i < 4; i++ {
+		if packed[i].BlockAlign(64) != packed[0].BlockAlign(64) {
+			t.Fatal("packed elements should share a line")
+		}
+	}
+	padded := a.Array(4, 8, 64)
+	seen := map[memsys.Addr]bool{}
+	for _, p := range padded {
+		seen[p.BlockAlign(64)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatal("padded elements should each own a line")
+	}
+}
+
+func TestStrideForVariants(t *testing.T) {
+	if strideFor(VariantDefault, 8, true) != 8 {
+		t.Fatal("default layout must pack")
+	}
+	if strideFor(VariantPadded, 8, true) != 64 {
+		t.Fatal("padded layout must pad to a line")
+	}
+	if strideFor(VariantHuron, 8, true) != 64 {
+		t.Fatal("huron layout pads where supported")
+	}
+	if strideFor(VariantPadded, 8, false) != 8 {
+		t.Fatal("non-fixable arrays must stay packed")
+	}
+}
+
+func TestScaleClampsToOne(t *testing.T) {
+	if Scale(0.0001).n(10) != 1 {
+		t.Fatal("scale must clamp to at least one iteration")
+	}
+	if Scale(2).n(10) != 20 {
+		t.Fatal("scale multiplication wrong")
+	}
+}
+
+func TestFalseSharingLayoutProperty(t *testing.T) {
+	// The default RC layout places all four counters in one line; the
+	// padded layout gives each its own.
+	rc, _ := ByName("RC")
+	_ = rc
+	a := NewArena()
+	slots := a.Array(4, 8, 8)
+	lines := map[memsys.Addr]bool{}
+	for _, s := range slots {
+		lines[s.BlockAlign(64)] = true
+	}
+	if len(lines) != 1 {
+		t.Fatalf("default RC-style layout spans %d lines, want 1", len(lines))
+	}
+}

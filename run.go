@@ -1,0 +1,221 @@
+package fscoherence
+
+import (
+	"fmt"
+
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/core"
+	"fscoherence/internal/energy"
+	"fscoherence/internal/sim"
+	"fscoherence/internal/stats"
+	"fscoherence/internal/workload"
+)
+
+// Protocol selects the coherence protocol for a run.
+type Protocol = coherence.Protocol
+
+// Re-exported protocol constants.
+const (
+	Baseline = coherence.Baseline
+	FSDetect = coherence.FSDetect
+	FSLite   = coherence.FSLite
+)
+
+// Variant selects the workload data layout.
+type Variant = workload.Variant
+
+// Re-exported layout variants.
+const (
+	LayoutDefault = workload.VariantDefault
+	LayoutPadded  = workload.VariantPadded
+	LayoutHuron   = workload.VariantHuron
+)
+
+// Detection re-exports the FSDetect report entry.
+type Detection = core.Detection
+
+// Options configures a single run. The zero value runs the baseline
+// protocol on the default layout at scale 1 with the Table II system.
+type Options struct {
+	Protocol Protocol
+	Variant  Variant
+
+	// Scale multiplies the workload size (1.0 = calibrated default).
+	Scale float64
+
+	// L1KB overrides the per-core L1D capacity in KB (default 32;
+	// §VIII-B studies use 128 and 512).
+	L1KB int
+
+	// L2KB enables a private mid-level cache of the given capacity per core
+	// (§VII three-level hierarchy; 0 = two-level).
+	L2KB int
+
+	// NonInclusiveLLC decouples the sparse directory from the LLC data
+	// array (§VII): directory entries track twice as many blocks as the
+	// data array holds.
+	NonInclusiveLLC bool
+
+	// TauP overrides the privatization threshold (default 16, Fig. 16
+	// studies 32 and 64).
+	TauP uint32
+
+	// SAMEntries overrides the per-slice SAM table capacity (default 128).
+	SAMEntries int
+
+	// Granularity overrides the metadata tracking grain in bytes
+	// (default 1; §VIII-B studies 2 and 4).
+	Granularity int
+
+	// ReaderOpt enables the §VI last-reader+overflow SAM optimization.
+	ReaderOpt bool
+
+	// OOO selects the 8-wide out-of-order core model (§VIII-B).
+	OOO bool
+
+	// Verify enables the golden-memory oracle and SWMR invariant scanning
+	// (slower; used by tests).
+	Verify bool
+
+	// MaxCycles bounds the run (0 = default guard).
+	MaxCycles uint64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Benchmark string
+	Protocol  Protocol
+	Variant   Variant
+
+	Cycles uint64
+	Stats  *stats.Set
+
+	// MissFraction is the fraction of L1D accesses that missed (Fig. 13).
+	MissFraction float64
+
+	// Energy is the modelled cache-hierarchy energy (arbitrary units;
+	// meaningful as a ratio between runs — Fig. 14b/15).
+	Energy float64
+
+	// Detections is FSDetect's report of falsely shared lines.
+	Detections []Detection
+
+	// Contended is FSDetect's report of contended truly-shared lines
+	// (typically synchronization variables) — the §VII extension.
+	Contended []Detection
+
+	// Violations holds oracle/SWMR failures when Verify was set.
+	Violations []string
+}
+
+// Speedup returns base.Cycles / r.Cycles: how much faster r is than base.
+func (r *Result) Speedup(base *Result) float64 {
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// NormalizedEnergy returns r.Energy / base.Energy.
+func (r *Result) NormalizedEnergy(base *Result) float64 {
+	return r.Energy / base.Energy
+}
+
+// buildConfig translates Options into the simulator configuration.
+func buildConfig(opt Options) sim.Config {
+	cfg := sim.DefaultConfig(opt.Protocol)
+	if opt.L1KB > 0 {
+		cfg.Params.L1Entries = opt.L1KB * 1024 / cfg.Params.BlockSize
+	}
+	if opt.L2KB > 0 {
+		cfg.Params.L2Entries = opt.L2KB * 1024 / cfg.Params.BlockSize
+		cfg.Params.L2Ways = 8
+		cfg.Params.L2HitCycles = 12
+	}
+	if opt.NonInclusiveLLC {
+		cfg.Params.NonInclusiveLLC = true
+	}
+	if opt.TauP > 0 {
+		cfg.Core.TauP = opt.TauP
+		cfg.Core.TauR1 = opt.TauP
+	}
+	if opt.SAMEntries > 0 {
+		cfg.Core.SAMEntries = opt.SAMEntries
+	}
+	if opt.Granularity > 0 {
+		cfg.Core.Granularity = opt.Granularity
+	}
+	cfg.Core.ReaderOpt = opt.ReaderOpt
+	if opt.OOO {
+		cfg.OOO = true
+		cfg.MSHRs = 8
+	}
+	cfg.CheckOracle = opt.Verify
+	cfg.CheckSWMR = opt.Verify
+	if opt.MaxCycles > 0 {
+		cfg.MaxCycles = opt.MaxCycles
+	}
+	return cfg
+}
+
+// Run executes benchmark bench (a workload code such as "RC"; see
+// Benchmarks) under the given options.
+func Run(bench string, opt Options) (*Result, error) {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Scale == 0 {
+		opt.Scale = 1
+	}
+	threads, regions := spec.BuildFull(opt.Variant, workload.Scale(opt.Scale))
+	cfg := buildConfig(opt)
+	system := sim.New(cfg, sim.Workload{Name: bench, Threads: threads, ReductionRegions: regions})
+	res, err := system.Run(bench)
+	if err != nil {
+		return nil, fmt.Errorf("run %s under %v: %w", bench, opt.Protocol, err)
+	}
+
+	out := &Result{
+		Benchmark:    bench,
+		Protocol:     opt.Protocol,
+		Variant:      opt.Variant,
+		Cycles:       res.Cycles,
+		Stats:        res.Stats,
+		MissFraction: res.Stats.Ratio(stats.CtrL1DMisses, stats.CtrL1DAccesses),
+		Detections:   res.Detections,
+		Contended:    res.Contended,
+	}
+	out.Energy = energy.Default().Compute(res.Stats, opt.Protocol != Baseline).Total()
+	out.Violations = append(out.Violations, res.OracleViolations...)
+	out.Violations = append(out.Violations, res.SWMRViolations...)
+	return out, nil
+}
+
+// BenchmarkInfo describes a registered workload model (Table III).
+type BenchmarkInfo struct {
+	Name         string
+	Full         string
+	Suite        string
+	FalseSharing bool
+	Threads      int
+}
+
+// Benchmarks lists all registered workload models.
+func Benchmarks() []BenchmarkInfo {
+	var out []BenchmarkInfo
+	for _, n := range workload.Names() {
+		s, _ := workload.ByName(n)
+		out = append(out, BenchmarkInfo{
+			Name: s.Name, Full: s.Full, Suite: s.Suite,
+			FalseSharing: s.FalseSharing, Threads: s.Threads,
+		})
+	}
+	return out
+}
+
+// FalseSharingBenchmarks returns the paper's Fig. 2/13/14 set.
+func FalseSharingBenchmarks() []string { return workload.FalseSharingSet() }
+
+// NoFalseSharingBenchmarks returns the paper's Fig. 15 set.
+func NoFalseSharingBenchmarks() []string { return workload.NoFalseSharingSet() }
+
+// HuronBenchmarks returns the paper's Fig. 17 comparison set.
+func HuronBenchmarks() []string { return workload.HuronSet() }
