@@ -1,0 +1,30 @@
+# Tier-1 verification for the fscoherence reproduction.
+#
+#   make ci      — the full tier-1 gate: build, vet, tests, and the race
+#                  detector over every package (the parallel experiment
+#                  engine and the goroutine-per-thread simulator both run
+#                  under -race; see sweep_test.go and internal/runner).
+#   make test    — build + unit tests only (fast inner loop).
+#   make race    — race-detector pass only.
+#   make bench   — regenerate the full evaluation via go test -bench.
+#   make sweep   — regenerate the paper's tables with the parallel engine.
+
+GO ?= go
+
+.PHONY: ci test race bench sweep
+
+ci: test race
+
+test:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$'
+
+sweep:
+	$(GO) run ./cmd/fsexp -all

@@ -1,6 +1,9 @@
 package fscoherence
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 // One benchmark per table/figure of the paper's evaluation (see DESIGN.md's
 // experiment index). Each runs the corresponding experiment once per
@@ -10,8 +13,13 @@ import "testing"
 //	go test -bench . -benchmem
 //
 // benchScale trades precision for time; cmd/fsexp runs the same experiments
-// at full scale.
+// at full scale. Each iteration uses a fresh serial Runner so the measured
+// work matches the historical serial harness (memoization within one table
+// still applies, as it does in fsexp).
 const benchScale = 0.5
+
+// serialRunner returns a fresh 1-worker engine (no cross-iteration caching).
+func serialRunner() *Runner { return NewRunner(1) }
 
 func reportGeo(b *testing.B, t *Table, col, metric string) {
 	b.Helper()
@@ -22,21 +30,21 @@ func reportGeo(b *testing.B, t *Table, col, metric string) {
 
 func BenchmarkFig02ManualFixSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := Fig2ManualFix(benchScale)
+		t := Fig2ManualFix(serialRunner(), benchScale)
 		reportGeo(b, t, "manual", "geomean-speedup")
 	}
 }
 
 func BenchmarkFig13L1DMissFraction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := Fig13MissFractions(benchScale)
+		t := Fig13MissFractions(serialRunner(), benchScale)
 		reportGeo(b, t, "miss-fraction", "mean-miss-fraction")
 	}
 }
 
 func BenchmarkFig14aSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := Fig14Speedup(benchScale)
+		t := Fig14Speedup(serialRunner(), benchScale)
 		reportGeo(b, t, "fslite", "fslite-geomean-speedup")
 		reportGeo(b, t, "fsdetect", "fsdetect-geomean-speedup")
 	}
@@ -44,14 +52,14 @@ func BenchmarkFig14aSpeedup(b *testing.B) {
 
 func BenchmarkFig14bEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := Fig14Energy(benchScale)
+		t := Fig14Energy(serialRunner(), benchScale)
 		reportGeo(b, t, "fslite", "fslite-geomean-energy")
 	}
 }
 
 func BenchmarkFig15NoFalseSharing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := Fig15NoFalseSharing(benchScale)
+		t := Fig15NoFalseSharing(serialRunner(), benchScale)
 		reportGeo(b, t, "speedup", "fslite-geomean-speedup")
 		reportGeo(b, t, "energy", "fslite-geomean-energy")
 	}
@@ -59,7 +67,7 @@ func BenchmarkFig15NoFalseSharing(b *testing.B) {
 
 func BenchmarkFig16TauPSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := Fig16TauP(benchScale)
+		t := Fig16TauP(serialRunner(), benchScale)
 		reportGeo(b, t, "tauP=32", "tau32-geomean")
 		reportGeo(b, t, "tauP=64", "tau64-geomean")
 	}
@@ -67,7 +75,7 @@ func BenchmarkFig16TauPSensitivity(b *testing.B) {
 
 func BenchmarkFig17HuronComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := Fig17Huron(benchScale)
+		t := Fig17Huron(serialRunner(), benchScale)
 		reportGeo(b, t, "manual", "manual-geomean")
 		reportGeo(b, t, "huron", "huron-geomean")
 		reportGeo(b, t, "fslite", "fslite-geomean")
@@ -76,7 +84,7 @@ func BenchmarkFig17HuronComparison(b *testing.B) {
 
 func BenchmarkNetworkTraffic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := NetworkTraffic(benchScale)
+		t := NetworkTraffic(serialRunner(), benchScale)
 		reportGeo(b, t, "requests", "request-ratio")
 		reportGeo(b, t, "bytes", "byte-ratio")
 	}
@@ -84,21 +92,21 @@ func BenchmarkNetworkTraffic(b *testing.B) {
 
 func BenchmarkSensitivitySAMSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := SAMSizeSensitivity(benchScale)
+		t := SAMSizeSensitivity(serialRunner(), benchScale)
 		reportGeo(b, t, "speedup-256", "sam256-speedup")
 	}
 }
 
 func BenchmarkSensitivityReaderOpt(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := ReaderOptStudy(benchScale)
+		t := ReaderOptStudy(serialRunner(), benchScale)
 		reportGeo(b, t, "speedup", "readeropt-speedup")
 	}
 }
 
 func BenchmarkSensitivityGranularity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := GranularityStudy(benchScale)
+		t := GranularityStudy(serialRunner(), benchScale)
 		reportGeo(b, t, "grain=2", "grain2-speedup")
 		reportGeo(b, t, "grain=4", "grain4-speedup")
 	}
@@ -106,21 +114,21 @@ func BenchmarkSensitivityGranularity(b *testing.B) {
 
 func BenchmarkSensitivityISOStorage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := ISOStorageStudy(benchScale)
+		t := ISOStorageStudy(serialRunner(), benchScale)
 		reportGeo(b, t, "speedup", "fslite32K-vs-base128K")
 	}
 }
 
 func BenchmarkSensitivityLargeL1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := LargeL1Study(benchScale)
+		t := LargeL1Study(serialRunner(), benchScale)
 		reportGeo(b, t, "speedup", "fslite-geomean-512K")
 	}
 }
 
 func BenchmarkSensitivityOOO(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := OOOStudy(benchScale)
+		t := OOOStudy(serialRunner(), benchScale)
 		reportGeo(b, t, "ooo-vs-inorder", "ooo-baseline-speedup")
 		reportGeo(b, t, "fslite-on-ooo", "fslite-on-ooo-speedup")
 	}
@@ -128,7 +136,38 @@ func BenchmarkSensitivityOOO(b *testing.B) {
 
 func BenchmarkTableVRunTimes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		TableVRunTimes(benchScale)
+		TableVRunTimes(serialRunner(), benchScale)
+	}
+}
+
+// primarySweep runs the primary-results sweep (fsexp's default set plus
+// Fig 13) on the given engine — the workload for the serial-vs-parallel
+// wall-clock comparison below.
+func primarySweep(r *Runner, scale float64) {
+	Fig2ManualFix(r, scale)
+	Fig13MissFractions(r, scale)
+	Fig14Speedup(r, scale)
+	Fig14Energy(r, scale)
+	Fig15NoFalseSharing(r, scale)
+	r.Wait()
+}
+
+// BenchmarkSweepSerial and BenchmarkSweepParallel run the identical
+// primary-results sweep with 1 worker and with one worker per CPU; the
+// ns/op ratio between them is the engine's wall-clock speedup (≈ min(cores,
+// independent cells) on an idle multi-core host; 1.0 by construction on a
+// single-core host). Each iteration uses a fresh engine so memoization
+// cannot carry results across iterations.
+func BenchmarkSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		primarySweep(NewRunner(1), benchScale)
+	}
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	b.ReportMetric(float64(runtime.NumCPU()), "workers")
+	for i := 0; i < b.N; i++ {
+		primarySweep(NewRunner(runtime.NumCPU()), benchScale)
 	}
 }
 

@@ -3,12 +3,20 @@
 // experiments (Fig 2, Fig 14, Fig 15); -all runs everything; -exp selects a
 // single experiment by ID.
 //
+// Simulations fan out across a worker pool (-j, default all CPUs) with
+// results memoized per (benchmark, options) cell, so reference runs shared
+// by several tables are simulated once. Every simulation is deterministic,
+// so the emitted tables are byte-identical for any -j; -j 1 reproduces the
+// historical serial harness exactly.
+//
 // Usage:
 //
 //	fsexp                 # primary results
 //	fsexp -all            # every experiment
+//	fsexp -all -j 8       # fan out on 8 workers
 //	fsexp -exp fig17      # one experiment
 //	fsexp -all -markdown  # emit EXPERIMENTS.md-style markdown
+//	fsexp -all -v         # per-cell timing on stderr
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"fscoherence"
@@ -26,6 +35,8 @@ func main() {
 		all      = flag.Bool("all", false, "run every experiment")
 		exp      = flag.String("exp", "", "run a single experiment by ID (fig2, fig13, ...)")
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
+		jobs     = flag.Int("j", runtime.NumCPU(), "max concurrent simulations (1 = serial)")
+		verbose  = flag.Bool("v", false, "report each simulation cell's timing on stderr")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
 		csv      = flag.Bool("csv", false, "emit CSV (artifact format)")
 		outDir   = flag.String("out", "", "also write one CSV per experiment into this directory")
@@ -62,14 +73,34 @@ func main() {
 		selected["fig2"], selected["fig14a"], selected["fig14b"], selected["fig15"] = true, true, true, true
 	}
 
-	ran := 0
+	// One engine for the whole invocation: cells shared between tables
+	// (e.g. every Baseline reference run) are simulated exactly once.
+	eng := fscoherence.NewRunner(*jobs)
+	if *verbose {
+		eng.SetProgress(func(bench string, opt fscoherence.Options, d time.Duration, err error) {
+			status := ""
+			if err != nil {
+				status = " FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[cell %s/%v %v%s]\n", bench, opt.Protocol, d.Round(time.Millisecond), status)
+		})
+	}
+
+	sweepStart := time.Now()
+	ran, failed := 0, 0
 	for _, e := range fscoherence.Experiments {
 		if !selected[e.ID] {
 			continue
 		}
 		ran++
 		start := time.Now()
-		t := e.Gen(*scale)
+		t, err := genTable(eng, e.Gen, *scale)
+		if err != nil {
+			// A broken cell fails only its experiment; the sweep continues.
+			failed++
+			fmt.Fprintf(os.Stderr, "fsexp: %s failed: %v\n", e.ID, err)
+			continue
+		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "fsexp:", err)
@@ -95,6 +126,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsexp: no experiment matched %q (use -list)\n", *exp)
 		os.Exit(1)
 	}
+
+	eng.Wait()
+	rep := eng.Report()
+	fmt.Fprintf(os.Stderr, "[sweep: %d cells simulated, %d served from cache, sim time %v, wall %v, -j %d]\n",
+		rep.Executed, rep.MemoHits, rep.TaskTime.Round(time.Millisecond),
+		time.Since(sweepStart).Round(time.Millisecond), eng.Workers())
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fsexp: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}
+
+// genTable runs one table builder, converting a failed cell's panic
+// (Future.Must) into an error so the remaining experiments still run.
+func genTable(r *fscoherence.Runner, gen func(*fscoherence.Runner, float64) *fscoherence.Table, scale float64) (t *fscoherence.Table, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("%v", rec)
+		}
+	}()
+	return gen(r, scale), nil
 }
 
 func printConfig() {

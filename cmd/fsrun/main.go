@@ -3,10 +3,14 @@
 // energy. With -compare it runs Baseline, FSDetect and FSLite back to back
 // and prints speedups.
 //
+// With -compare the three protocol runs fan out on the experiment engine
+// (-j workers, default all CPUs); results are deterministic for any -j.
+//
 // Usage:
 //
 //	fsrun -bench RC -protocol fslite
 //	fsrun -bench RC -compare
+//	fsrun -bench RC -compare -j 3
 //	fsrun -list
 package main
 
@@ -14,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"fscoherence"
@@ -25,6 +30,7 @@ func main() {
 		protocol = flag.String("protocol", "baseline", "baseline | fsdetect | fslite")
 		variant  = flag.String("variant", "default", "default | padded | huron")
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
+		jobs     = flag.Int("j", runtime.NumCPU(), "max concurrent simulations for -compare (1 = serial)")
 		compare  = flag.Bool("compare", false, "run all three protocols and print speedups")
 		verify   = flag.Bool("verify", false, "enable oracle and SWMR verification")
 		list     = flag.Bool("list", false, "list available benchmarks")
@@ -50,9 +56,12 @@ func main() {
 	}
 
 	if *compare {
-		base := run(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale, Verify: *verify})
-		det := run(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale, Verify: *verify})
-		fsl := run(*bench, fscoherence.Options{Protocol: fscoherence.FSLite, Variant: v, Scale: *scale, Verify: *verify})
+		// The three protocol runs are independent cells: fan them out.
+		eng := fscoherence.NewRunner(*jobs)
+		baseF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale, Verify: *verify})
+		detF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale, Verify: *verify})
+		fslF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSLite, Variant: v, Scale: *scale, Verify: *verify})
+		base, det, fsl := collect(baseF), collect(detF), collect(fslF)
 		fmt.Printf("benchmark %s (%s layout, scale %.2f)\n\n", *bench, v, *scale)
 		fmt.Printf("%-10s %12s %10s %10s %12s %14s\n", "PROTOCOL", "CYCLES", "SPEEDUP", "L1D MISS", "NET MSGS", "ENERGY (norm)")
 		for _, r := range []*fscoherence.Result{base, det, fsl} {
@@ -89,6 +98,20 @@ func run(bench string, opt fscoherence.Options) *fscoherence.Result {
 	if err != nil {
 		fatal(err)
 	}
+	return checked(r)
+}
+
+// collect waits for a submitted cell and applies the same fatal-error and
+// verification policy as a direct run.
+func collect(f *fscoherence.Future) *fscoherence.Result {
+	r, err := f.Result()
+	if err != nil {
+		fatal(err)
+	}
+	return checked(r)
+}
+
+func checked(r *fscoherence.Result) *fscoherence.Result {
 	if len(r.Violations) > 0 {
 		fatal(fmt.Errorf("verification failed: %s", strings.Join(r.Violations, "; ")))
 	}

@@ -130,25 +130,23 @@ func geomean(vs []float64) float64 {
 	return math.Exp(sum / float64(len(vs)))
 }
 
-// run panics on error; the experiment harness treats a failed run as fatal.
-func mustRun(bench string, opt Options) *Result {
-	r, err := Run(bench, opt)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
+// Every table builder is two-phase: it first submits all of its simulation
+// cells to the engine (fanning them out across the worker pool), then
+// collects futures in row order. Collection order fixes the table layout, so
+// output is identical for any worker count; a cell that fails panics out of
+// the builder (Future.Must) and cmd/fsexp recovers per experiment.
 
 // Fig2ManualFix reproduces Figure 2: the speedup achieved by manually fixing
 // false sharing (padded layouts) over the unmodified baseline protocol.
-func Fig2ManualFix(scale float64) *Table {
+func Fig2ManualFix(r *Runner, scale float64) *Table {
 	t := &Table{ID: "Fig 2", Title: "Speedup after manually fixing false sharing (baseline MESI)",
 		Columns: []string{"manual"}, GeoMean: map[string]float64{}}
+	benches := FalseSharingBenchmarks()
+	base := r.SubmitBenches(benches, Options{Protocol: Baseline, Scale: scale})
+	man := r.SubmitBenches(benches, Options{Protocol: Baseline, Variant: LayoutPadded, Scale: scale})
 	var sp []float64
-	for _, b := range FalseSharingBenchmarks() {
-		base := mustRun(b, Options{Protocol: Baseline, Scale: scale})
-		man := mustRun(b, Options{Protocol: Baseline, Variant: LayoutPadded, Scale: scale})
-		s := man.Speedup(base)
+	for i, b := range benches {
+		s := man[i].Must().Speedup(base[i].Must())
 		sp = append(sp, s)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{"manual": s}})
 	}
@@ -158,14 +156,16 @@ func Fig2ManualFix(scale float64) *Table {
 
 // Fig13MissFractions reproduces Figure 13: the fraction of L1D accesses that
 // miss, for the false-sharing benchmarks under the baseline protocol.
-func Fig13MissFractions(scale float64) *Table {
+func Fig13MissFractions(r *Runner, scale float64) *Table {
 	t := &Table{ID: "Fig 13", Title: "Fraction of L1D accesses that miss (baseline)",
 		Columns: []string{"miss-fraction"}, GeoMean: map[string]float64{}}
+	benches := FalseSharingBenchmarks()
+	cells := r.SubmitBenches(benches, Options{Protocol: Baseline, Scale: scale})
 	sum := 0.0
-	for _, b := range FalseSharingBenchmarks() {
-		r := mustRun(b, Options{Protocol: Baseline, Scale: scale})
-		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{"miss-fraction": r.MissFraction}})
-		sum += r.MissFraction
+	for i, b := range benches {
+		res := cells[i].Must()
+		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{"miss-fraction": res.MissFraction}})
+		sum += res.MissFraction
 	}
 	// The paper reports the arithmetic mean for Fig. 13.
 	t.GeoMean["miss-fraction"] = sum / float64(len(t.Rows))
@@ -174,15 +174,17 @@ func Fig13MissFractions(scale float64) *Table {
 
 // Fig14Speedup reproduces Figure 14a: FSDetect and FSLite speedups over the
 // baseline for the false-sharing benchmarks.
-func Fig14Speedup(scale float64) *Table {
+func Fig14Speedup(r *Runner, scale float64) *Table {
 	t := &Table{ID: "Fig 14a", Title: "Speedup of FSDetect and FSLite over baseline",
 		Columns: []string{"fsdetect", "fslite"}, GeoMean: map[string]float64{}}
+	benches := FalseSharingBenchmarks()
+	base := r.SubmitBenches(benches, Options{Protocol: Baseline, Scale: scale})
+	det := r.SubmitBenches(benches, Options{Protocol: FSDetect, Scale: scale})
+	fsl := r.SubmitBenches(benches, Options{Protocol: FSLite, Scale: scale})
 	var sd, sl []float64
-	for _, b := range FalseSharingBenchmarks() {
-		base := mustRun(b, Options{Protocol: Baseline, Scale: scale})
-		det := mustRun(b, Options{Protocol: FSDetect, Scale: scale})
-		fsl := mustRun(b, Options{Protocol: FSLite, Scale: scale})
-		vd, vl := det.Speedup(base), fsl.Speedup(base)
+	for i, b := range benches {
+		b0 := base[i].Must()
+		vd, vl := det[i].Must().Speedup(b0), fsl[i].Must().Speedup(b0)
 		sd = append(sd, vd)
 		sl = append(sl, vl)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{"fsdetect": vd, "fslite": vl}})
@@ -194,15 +196,17 @@ func Fig14Speedup(scale float64) *Table {
 
 // Fig14Energy reproduces Figure 14b: cache-hierarchy energy of FSDetect and
 // FSLite normalized to the baseline.
-func Fig14Energy(scale float64) *Table {
+func Fig14Energy(r *Runner, scale float64) *Table {
 	t := &Table{ID: "Fig 14b", Title: "Normalized energy of FSDetect and FSLite",
 		Columns: []string{"fsdetect", "fslite"}, GeoMean: map[string]float64{}}
+	benches := FalseSharingBenchmarks()
+	base := r.SubmitBenches(benches, Options{Protocol: Baseline, Scale: scale})
+	det := r.SubmitBenches(benches, Options{Protocol: FSDetect, Scale: scale})
+	fsl := r.SubmitBenches(benches, Options{Protocol: FSLite, Scale: scale})
 	var ed, el []float64
-	for _, b := range FalseSharingBenchmarks() {
-		base := mustRun(b, Options{Protocol: Baseline, Scale: scale})
-		det := mustRun(b, Options{Protocol: FSDetect, Scale: scale})
-		fsl := mustRun(b, Options{Protocol: FSLite, Scale: scale})
-		vd, vl := det.NormalizedEnergy(base), fsl.NormalizedEnergy(base)
+	for i, b := range benches {
+		b0 := base[i].Must()
+		vd, vl := det[i].Must().NormalizedEnergy(b0), fsl[i].Must().NormalizedEnergy(b0)
 		ed = append(ed, vd)
 		el = append(el, vl)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{"fsdetect": vd, "fslite": vl}})
@@ -214,14 +218,16 @@ func Fig14Energy(scale float64) *Table {
 
 // Fig15NoFalseSharing reproduces Figure 15: FSLite speedup and normalized
 // energy for the applications without false sharing.
-func Fig15NoFalseSharing(scale float64) *Table {
+func Fig15NoFalseSharing(r *Runner, scale float64) *Table {
 	t := &Table{ID: "Fig 15", Title: "FSLite on applications without false sharing",
 		Columns: []string{"speedup", "energy"}, GeoMean: map[string]float64{}}
+	benches := NoFalseSharingBenchmarks()
+	base := r.SubmitBenches(benches, Options{Protocol: Baseline, Scale: scale})
+	fsl := r.SubmitBenches(benches, Options{Protocol: FSLite, Scale: scale})
 	var sp, en []float64
-	for _, b := range NoFalseSharingBenchmarks() {
-		base := mustRun(b, Options{Protocol: Baseline, Scale: scale})
-		fsl := mustRun(b, Options{Protocol: FSLite, Scale: scale})
-		s, e := fsl.Speedup(base), fsl.NormalizedEnergy(base)
+	for i, b := range benches {
+		b0, f0 := base[i].Must(), fsl[i].Must()
+		s, e := f0.Speedup(b0), f0.NormalizedEnergy(b0)
 		sp = append(sp, s)
 		en = append(en, e)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{"speedup": s, "energy": e}})
@@ -233,16 +239,17 @@ func Fig15NoFalseSharing(scale float64) *Table {
 
 // Fig16TauP reproduces Figure 16: FSLite with privatization thresholds 32
 // and 64, relative to the default threshold of 16.
-func Fig16TauP(scale float64) *Table {
+func Fig16TauP(r *Runner, scale float64) *Table {
 	t := &Table{ID: "Fig 16", Title: "FSLite sensitivity to the privatization threshold tauP (relative to tauP=16)",
 		Columns: []string{"tauP=32", "tauP=64"}, GeoMean: map[string]float64{}}
-	var s32s, s64s []float64
 	benches := []string{"BS", "LL", "LR", "LT", "RC", "SF", "SM"} // SC excluded (§VIII-B)
-	for _, b := range benches {
-		ref := mustRun(b, Options{Protocol: FSLite, Scale: scale})
-		t32 := mustRun(b, Options{Protocol: FSLite, TauP: 32, Scale: scale})
-		t64 := mustRun(b, Options{Protocol: FSLite, TauP: 64, Scale: scale})
-		v32, v64 := t32.Speedup(ref), t64.Speedup(ref)
+	ref := r.SubmitBenches(benches, Options{Protocol: FSLite, Scale: scale})
+	t32 := r.SubmitBenches(benches, Options{Protocol: FSLite, TauP: 32, Scale: scale})
+	t64 := r.SubmitBenches(benches, Options{Protocol: FSLite, TauP: 64, Scale: scale})
+	var s32s, s64s []float64
+	for i, b := range benches {
+		r0 := ref[i].Must()
+		v32, v64 := t32[i].Must().Speedup(r0), t64[i].Must().Speedup(r0)
 		s32s = append(s32s, v32)
 		s64s = append(s64s, v64)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{"tauP=32": v32, "tauP=64": v64}})
@@ -254,16 +261,18 @@ func Fig16TauP(scale float64) *Table {
 
 // Fig17Huron reproduces Figure 17: manual fix, Huron and FSLite speedups
 // over baseline for the Huron-artifact benchmarks.
-func Fig17Huron(scale float64) *Table {
+func Fig17Huron(r *Runner, scale float64) *Table {
 	t := &Table{ID: "Fig 17", Title: "Manual fix vs Huron vs FSLite (speedup over baseline)",
 		Columns: []string{"manual", "huron", "fslite"}, GeoMean: map[string]float64{}}
+	benches := HuronBenchmarks()
+	base := r.SubmitBenches(benches, Options{Protocol: Baseline, Scale: scale})
+	man := r.SubmitBenches(benches, Options{Protocol: Baseline, Variant: LayoutPadded, Scale: scale})
+	hur := r.SubmitBenches(benches, Options{Protocol: Baseline, Variant: LayoutHuron, Scale: scale})
+	fsl := r.SubmitBenches(benches, Options{Protocol: FSLite, Scale: scale})
 	var sm, sh, sl []float64
-	for _, b := range HuronBenchmarks() {
-		base := mustRun(b, Options{Protocol: Baseline, Scale: scale})
-		man := mustRun(b, Options{Protocol: Baseline, Variant: LayoutPadded, Scale: scale})
-		hur := mustRun(b, Options{Protocol: Baseline, Variant: LayoutHuron, Scale: scale})
-		fsl := mustRun(b, Options{Protocol: FSLite, Scale: scale})
-		vm, vh, vl := man.Speedup(base), hur.Speedup(base), fsl.Speedup(base)
+	for i, b := range benches {
+		b0 := base[i].Must()
+		vm, vh, vl := man[i].Must().Speedup(b0), hur[i].Must().Speedup(b0), fsl[i].Must().Speedup(b0)
 		sm = append(sm, vm)
 		sh = append(sh, vh)
 		sl = append(sl, vl)
@@ -278,17 +287,19 @@ func Fig17Huron(scale float64) *Table {
 // NetworkTraffic reproduces the §VIII-B interconnect study: the reduction in
 // L1-originated request messages and total traffic under FSLite, plus the
 // metadata overhead.
-func NetworkTraffic(scale float64) *Table {
+func NetworkTraffic(r *Runner, scale float64) *Table {
 	t := &Table{ID: "Net", Title: "FSLite interconnect traffic relative to baseline (false-sharing apps)",
 		Columns: []string{"requests", "messages", "bytes", "metadata-share"}, GeoMean: map[string]float64{}}
+	benches := FalseSharingBenchmarks()
+	base := r.SubmitBenches(benches, Options{Protocol: Baseline, Scale: scale})
+	fsl := r.SubmitBenches(benches, Options{Protocol: FSLite, Scale: scale})
 	var rq, ms, by []float64
-	for _, b := range FalseSharingBenchmarks() {
-		base := mustRun(b, Options{Protocol: Baseline, Scale: scale})
-		fsl := mustRun(b, Options{Protocol: FSLite, Scale: scale})
-		reqRatio := float64(fsl.Stats.Get("net.msg.request")) / float64(base.Stats.Get("net.msg.request"))
-		msgRatio := float64(fsl.Stats.Get(stats.CtrNetMessages)) / float64(base.Stats.Get(stats.CtrNetMessages))
-		byteRatio := float64(fsl.Stats.Get(stats.CtrNetBytes)) / float64(base.Stats.Get(stats.CtrNetBytes))
-		mdShare := float64(fsl.Stats.Get("net.msg.metadata")) / float64(fsl.Stats.Get(stats.CtrNetMessages))
+	for i, b := range benches {
+		b0, f0 := base[i].Must(), fsl[i].Must()
+		reqRatio := float64(f0.Stats.Get("net.msg.request")) / float64(b0.Stats.Get("net.msg.request"))
+		msgRatio := float64(f0.Stats.Get(stats.CtrNetMessages)) / float64(b0.Stats.Get(stats.CtrNetMessages))
+		byteRatio := float64(f0.Stats.Get(stats.CtrNetBytes)) / float64(b0.Stats.Get(stats.CtrNetBytes))
+		mdShare := float64(f0.Stats.Get("net.msg.metadata")) / float64(f0.Stats.Get(stats.CtrNetMessages))
 		rq = append(rq, reqRatio)
 		ms = append(ms, msgRatio)
 		by = append(by, byteRatio)
@@ -305,15 +316,17 @@ func NetworkTraffic(scale float64) *Table {
 // SAMSizeSensitivity reproduces the §VIII-B SAM-table study: FSLite with a
 // 256-entry SAM table relative to the default 128 entries, plus the fraction
 // of SAM insertions that replaced a valid entry.
-func SAMSizeSensitivity(scale float64) *Table {
+func SAMSizeSensitivity(r *Runner, scale float64) *Table {
 	t := &Table{ID: "SAM", Title: "FSLite sensitivity to SAM table size (256 vs 128 entries)",
 		Columns: []string{"speedup-256", "replace-frac-128"}, GeoMean: map[string]float64{}}
+	benches := FalseSharingBenchmarks()
+	ref := r.SubmitBenches(benches, Options{Protocol: FSLite, Scale: scale})
+	big := r.SubmitBenches(benches, Options{Protocol: FSLite, SAMEntries: 256, Scale: scale})
 	var sp []float64
-	for _, b := range FalseSharingBenchmarks() {
-		ref := mustRun(b, Options{Protocol: FSLite, Scale: scale})
-		big := mustRun(b, Options{Protocol: FSLite, SAMEntries: 256, Scale: scale})
-		v := big.Speedup(ref)
-		repl := ref.Stats.Ratio(stats.CtrSAMReplacements, stats.CtrSAMLookups)
+	for i, b := range benches {
+		r0 := ref[i].Must()
+		v := big[i].Must().Speedup(r0)
+		repl := r0.Stats.Ratio(stats.CtrSAMReplacements, stats.CtrSAMLookups)
 		sp = append(sp, v)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{
 			"speedup-256": v, "replace-frac-128": repl,
@@ -326,17 +339,19 @@ func SAMSizeSensitivity(scale float64) *Table {
 // ReaderOptStudy reproduces the §VI/§VIII-B reader-metadata optimization
 // study: FSLite with the last-reader+overflow SAM encoding must privatize
 // the same blocks and match the performance of the full reader bit-vector.
-func ReaderOptStudy(scale float64) *Table {
+func ReaderOptStudy(r *Runner, scale float64) *Table {
 	t := &Table{ID: "ReaderOpt", Title: "Reader metadata optimization (last-reader+overflow vs full bit-vector)",
 		Columns: []string{"speedup", "privatizations-ratio"}, GeoMean: map[string]float64{}}
+	benches := FalseSharingBenchmarks()
+	full := r.SubmitBenches(benches, Options{Protocol: FSLite, Scale: scale})
+	opt := r.SubmitBenches(benches, Options{Protocol: FSLite, ReaderOpt: true, Scale: scale})
 	var sp []float64
-	for _, b := range FalseSharingBenchmarks() {
-		full := mustRun(b, Options{Protocol: FSLite, Scale: scale})
-		opt := mustRun(b, Options{Protocol: FSLite, ReaderOpt: true, Scale: scale})
-		v := opt.Speedup(full)
+	for i, b := range benches {
+		f0, o0 := full[i].Must(), opt[i].Must()
+		v := o0.Speedup(f0)
 		pr := 1.0
-		if p := full.Stats.Get(stats.CtrFSPrivatized); p > 0 {
-			pr = float64(opt.Stats.Get(stats.CtrFSPrivatized)) / float64(p)
+		if p := f0.Stats.Get(stats.CtrFSPrivatized); p > 0 {
+			pr = float64(o0.Stats.Get(stats.CtrFSPrivatized)) / float64(p)
 		}
 		sp = append(sp, v)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{
@@ -349,15 +364,17 @@ func ReaderOptStudy(scale float64) *Table {
 
 // GranularityStudy reproduces the §VIII-B coarse-grain tracking study:
 // FSLite with 2- and 4-byte metadata grains relative to byte-grain tracking.
-func GranularityStudy(scale float64) *Table {
+func GranularityStudy(r *Runner, scale float64) *Table {
 	t := &Table{ID: "Grain", Title: "FSLite with coarse-grain access tracking (relative to 1-byte grain)",
 		Columns: []string{"grain=2", "grain=4"}, GeoMean: map[string]float64{}}
+	benches := FalseSharingBenchmarks()
+	ref := r.SubmitBenches(benches, Options{Protocol: FSLite, Scale: scale})
+	g2 := r.SubmitBenches(benches, Options{Protocol: FSLite, Granularity: 2, Scale: scale})
+	g4 := r.SubmitBenches(benches, Options{Protocol: FSLite, Granularity: 4, Scale: scale})
 	var g2s, g4s []float64
-	for _, b := range FalseSharingBenchmarks() {
-		ref := mustRun(b, Options{Protocol: FSLite, Scale: scale})
-		g2 := mustRun(b, Options{Protocol: FSLite, Granularity: 2, Scale: scale})
-		g4 := mustRun(b, Options{Protocol: FSLite, Granularity: 4, Scale: scale})
-		v2, v4 := g2.Speedup(ref), g4.Speedup(ref)
+	for i, b := range benches {
+		r0 := ref[i].Must()
+		v2, v4 := g2[i].Must().Speedup(r0), g4[i].Must().Speedup(r0)
 		g2s = append(g2s, v2)
 		g4s = append(g4s, v4)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{"grain=2": v2, "grain=4": v4}})
@@ -370,15 +387,15 @@ func GranularityStudy(scale float64) *Table {
 // ISOStorageStudy reproduces the §VIII-B iso-storage comparison: FSLite with
 // a 32 KB L1D against the baseline protocol with a 128 KB L1D, across all 14
 // applications.
-func ISOStorageStudy(scale float64) *Table {
+func ISOStorageStudy(r *Runner, scale float64) *Table {
 	t := &Table{ID: "ISO", Title: "FSLite@32KB L1D vs baseline@128KB L1D (all applications)",
 		Columns: []string{"speedup"}, GeoMean: map[string]float64{}}
-	var sp []float64
 	all := append(append([]string{}, FalseSharingBenchmarks()...), NoFalseSharingBenchmarks()...)
-	for _, b := range all {
-		big := mustRun(b, Options{Protocol: Baseline, L1KB: 128, Scale: scale})
-		fsl := mustRun(b, Options{Protocol: FSLite, Scale: scale})
-		v := fsl.Speedup(big)
+	big := r.SubmitBenches(all, Options{Protocol: Baseline, L1KB: 128, Scale: scale})
+	fsl := r.SubmitBenches(all, Options{Protocol: FSLite, Scale: scale})
+	var sp []float64
+	for i, b := range all {
+		v := fsl[i].Must().Speedup(big[i].Must())
 		sp = append(sp, v)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{"speedup": v}})
 	}
@@ -388,14 +405,15 @@ func ISOStorageStudy(scale float64) *Table {
 
 // LargeL1Study reproduces the §VIII-B large-private-cache study: FSLite's
 // speedup with a 512 KB L1D (mimicking a mid-level cache).
-func LargeL1Study(scale float64) *Table {
+func LargeL1Study(r *Runner, scale float64) *Table {
 	t := &Table{ID: "BigL1", Title: "FSLite speedup with a 512KB private cache (false-sharing apps)",
 		Columns: []string{"speedup"}, GeoMean: map[string]float64{}}
+	benches := FalseSharingBenchmarks()
+	base := r.SubmitBenches(benches, Options{Protocol: Baseline, L1KB: 512, Scale: scale})
+	fsl := r.SubmitBenches(benches, Options{Protocol: FSLite, L1KB: 512, Scale: scale})
 	var sp []float64
-	for _, b := range FalseSharingBenchmarks() {
-		base := mustRun(b, Options{Protocol: Baseline, L1KB: 512, Scale: scale})
-		fsl := mustRun(b, Options{Protocol: FSLite, L1KB: 512, Scale: scale})
-		v := fsl.Speedup(base)
+	for i, b := range benches {
+		v := fsl[i].Must().Speedup(base[i].Must())
 		sp = append(sp, v)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{"speedup": v}})
 	}
@@ -407,15 +425,17 @@ func LargeL1Study(scale float64) *Table {
 // private L2 per core between the L1D and the LLC. The paper argues FSLite's
 // benefit is unchanged (metadata stays at the L1; the PAM-eviction traffic
 // is a few percent of L1-to-LLC traffic).
-func ThreeLevelStudy(scale float64) *Table {
+func ThreeLevelStudy(r *Runner, scale float64) *Table {
 	t := &Table{ID: "L2", Title: "FSLite with a 256KB private L2 per core (three-level hierarchy)",
 		Columns: []string{"speedup", "metadata-share"}, GeoMean: map[string]float64{}}
+	benches := FalseSharingBenchmarks()
+	base := r.SubmitBenches(benches, Options{Protocol: Baseline, L2KB: 256, Scale: scale})
+	fsl := r.SubmitBenches(benches, Options{Protocol: FSLite, L2KB: 256, Scale: scale})
 	var sp []float64
-	for _, b := range FalseSharingBenchmarks() {
-		base := mustRun(b, Options{Protocol: Baseline, L2KB: 256, Scale: scale})
-		fsl := mustRun(b, Options{Protocol: FSLite, L2KB: 256, Scale: scale})
-		v := fsl.Speedup(base)
-		mdShare := float64(fsl.Stats.Get("net.msg.metadata")) / float64(fsl.Stats.Get(stats.CtrNetMessages))
+	for i, b := range benches {
+		f0 := fsl[i].Must()
+		v := f0.Speedup(base[i].Must())
+		mdShare := float64(f0.Stats.Get("net.msg.metadata")) / float64(f0.Stats.Get(stats.CtrNetMessages))
 		sp = append(sp, v)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{
 			"speedup": v, "metadata-share": mdShare,
@@ -428,17 +448,18 @@ func ThreeLevelStudy(scale float64) *Table {
 // OOOStudy reproduces the §VIII-B out-of-order study: the 8-wide OOO
 // baseline's speedup over the in-order baseline, and FSLite's speedup on top
 // of the OOO baseline.
-func OOOStudy(scale float64) *Table {
+func OOOStudy(r *Runner, scale float64) *Table {
 	t := &Table{ID: "OOO", Title: "8-wide out-of-order cores: OOO-baseline/in-order and FSLite/OOO-baseline",
 		Columns: []string{"ooo-vs-inorder", "fslite-on-ooo"}, GeoMean: map[string]float64{}}
-	var oi, fo []float64
 	// The paper could run six of the eight FS applications in SE mode.
 	benches := []string{"BS", "LL", "LR", "LT", "RC", "SM"}
-	for _, b := range benches {
-		inord := mustRun(b, Options{Protocol: Baseline, Scale: scale})
-		ooo := mustRun(b, Options{Protocol: Baseline, OOO: true, Scale: scale})
-		fsl := mustRun(b, Options{Protocol: FSLite, OOO: true, Scale: scale})
-		v1, v2 := ooo.Speedup(inord), fsl.Speedup(ooo)
+	inord := r.SubmitBenches(benches, Options{Protocol: Baseline, Scale: scale})
+	ooo := r.SubmitBenches(benches, Options{Protocol: Baseline, OOO: true, Scale: scale})
+	fsl := r.SubmitBenches(benches, Options{Protocol: FSLite, OOO: true, Scale: scale})
+	var oi, fo []float64
+	for i, b := range benches {
+		o0 := ooo[i].Must()
+		v1, v2 := o0.Speedup(inord[i].Must()), fsl[i].Must().Speedup(o0)
 		oi = append(oi, v1)
 		fo = append(fo, v2)
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{"ooo-vs-inorder": v1, "fslite-on-ooo": v2}})
@@ -452,16 +473,17 @@ func OOOStudy(scale float64) *Table {
 // program with a very high volume of falsely shared blocks floods the
 // interconnect with invalidations and interventions; FSLite defuses the
 // attack by privatizing the contended lines.
-func DoSStudy(scale float64) *Table {
+func DoSStudy(r *Runner, scale float64) *Table {
 	t := &Table{ID: "DoS", Title: "Interconnect flooding by high-volume false sharing (uDoS micro)",
 		Columns: []string{"msgs-per-kcycle", "inv+interv", "speedup"}}
-	base := mustRun("uDoS", Options{Protocol: Baseline, Scale: scale})
-	fsl := mustRun("uDoS", Options{Protocol: FSLite, Scale: scale})
-	row := func(name string, r *Result) {
+	baseF := r.Submit("uDoS", Options{Protocol: Baseline, Scale: scale})
+	fslF := r.Submit("uDoS", Options{Protocol: FSLite, Scale: scale})
+	base, fsl := baseF.Must(), fslF.Must()
+	row := func(name string, res *Result) {
 		t.Rows = append(t.Rows, TableRow{Name: name, Values: map[string]float64{
-			"msgs-per-kcycle": 1000 * float64(r.Stats.Get(stats.CtrNetMessages)) / float64(r.Cycles),
-			"inv+interv":      float64(r.Stats.Get("dir.invalidations") + r.Stats.Get("dir.interventions")),
-			"speedup":         r.Speedup(base),
+			"msgs-per-kcycle": 1000 * float64(res.Stats.Get(stats.CtrNetMessages)) / float64(res.Cycles),
+			"inv+interv":      float64(res.Stats.Get("dir.invalidations") + res.Stats.Get("dir.interventions")),
+			"speedup":         res.Speedup(base),
 		}})
 	}
 	row("baseline", base)
@@ -471,25 +493,27 @@ func DoSStudy(scale float64) *Table {
 
 // TableVRunTimes reproduces Table V's role (per-application run times) with
 // simulated cycles per benchmark and protocol.
-func TableVRunTimes(scale float64) *Table {
+func TableVRunTimes(r *Runner, scale float64) *Table {
 	t := &Table{ID: "Table V", Title: "Simulated cycles per application (baseline / FSLite)",
 		Columns: []string{"baseline-cycles", "fslite-cycles"}}
 	all := append(append([]string{}, NoFalseSharingBenchmarks()...), FalseSharingBenchmarks()...)
 	sort.Strings(all)
-	for _, b := range all {
-		base := mustRun(b, Options{Protocol: Baseline, Scale: scale})
-		fsl := mustRun(b, Options{Protocol: FSLite, Scale: scale})
+	base := r.SubmitBenches(all, Options{Protocol: Baseline, Scale: scale})
+	fsl := r.SubmitBenches(all, Options{Protocol: FSLite, Scale: scale})
+	for i, b := range all {
 		t.Rows = append(t.Rows, TableRow{Name: b, Values: map[string]float64{
-			"baseline-cycles": float64(base.Cycles), "fslite-cycles": float64(fsl.Cycles),
+			"baseline-cycles": float64(base[i].Must().Cycles), "fslite-cycles": float64(fsl[i].Must().Cycles),
 		}})
 	}
 	return t
 }
 
 // Experiments maps experiment IDs to their generators (used by cmd/fsexp).
+// Generators share one Runner per invocation, so reference cells repeated
+// across tables (every Baseline run, the FSLite defaults) simulate once.
 var Experiments = []struct {
 	ID   string
-	Gen  func(scale float64) *Table
+	Gen  func(r *Runner, scale float64) *Table
 	Note string
 }{
 	{"fig2", Fig2ManualFix, "manual-fix speedups"},

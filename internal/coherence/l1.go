@@ -1038,7 +1038,9 @@ func (l *L1) onInv(m *network.Msg) {
 				l.cache.Unpin(m.Addr)
 			}
 			l.invalidateAny(m.Addr)
-			l.send(&network.Msg{Op: network.OpInvAck, Dst: m.Requestor, Addr: m.Addr, ReqMD: m.ReqMD})
+			// Requestor identifies the responder: the directory's recall
+			// transaction removes exactly this core from its expect set.
+			l.send(&network.Msg{Op: network.OpInvAck, Dst: m.Requestor, Addr: m.Addr, ReqMD: m.ReqMD, Requestor: l.node})
 			l.takeAndReportMD(m.Src, m.Addr, m.ReqMD)
 			return
 		case L1Exclusive, L1Modified:
@@ -1076,7 +1078,7 @@ func (l *L1) onInv(m *network.Msg) {
 			tx.invAfterFill = true
 		}
 	}
-	l.send(&network.Msg{Op: network.OpInvAck, Dst: m.Requestor, Addr: m.Addr, ReqMD: m.ReqMD})
+	l.send(&network.Msg{Op: network.OpInvAck, Dst: m.Requestor, Addr: m.Addr, ReqMD: m.ReqMD, Requestor: l.node})
 	if m.ReqMD {
 		l.sendPhantom(m.Src, m.Addr)
 	}

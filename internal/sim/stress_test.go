@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"fscoherence/internal/coherence"
@@ -323,6 +325,167 @@ func TestStressReductionRegions(t *testing.T) {
 	}
 	t.Logf("total=%d privatizations=%d terminations=%d",
 		total, res.Stats.Get(stats.CtrFSPrivatized), res.Stats.Get(stats.CtrFSTerminations))
+}
+
+// ---------------------------------------------------------------------------
+// Data-value invariant: merged memory equals a sequentially-consistent
+// reference execution.
+// ---------------------------------------------------------------------------
+
+// valOp is one operation of the data-value workload. The op mix is chosen so
+// the final memory image is independent of thread interleaving — atomic adds
+// and reductions commute, and plain stores target thread-private addresses —
+// which makes a byte-precise sequentially-consistent reference computable by
+// replaying the ops into a flat byte map in any order.
+type valOp struct {
+	kind int // 0 = atomic add (falsely shared slot), 1 = reduce, 2 = atomic add (shared), 3 = private store, 4 = private load
+	a    memsys.Addr
+	size int
+	val  uint64
+}
+
+// refMem is the byte-granular sequentially-consistent reference memory.
+type refMem map[memsys.Addr]byte
+
+func (m refMem) load(a memsys.Addr, size int) uint64 {
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		buf[i] = m[a+memsys.Addr(i)]
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (m refMem) store(a memsys.Addr, size int, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	for i := 0; i < size; i++ {
+		m[a+memsys.Addr(i)] = buf[i]
+	}
+}
+
+func (m refMem) add(a memsys.Addr, size int, delta uint64) {
+	m.store(a, size, m.load(a, size)+delta)
+}
+
+// genValOps builds thread id's deterministic op stream for the data-value
+// workload. Layout: falsely shared slots in blocks 0-1 (four 8-byte slots
+// per line), a declared reduction region in block 40, a truly shared atomic
+// counter in block 3, and a 4-line private region per thread from block 60.
+func genValOps(id, threads, ops int, seed int64) []valOp {
+	rng := rand.New(rand.NewSource(seed + int64(id)*7919))
+	slot := addr(id%2, 16*(id/2)) // two falsely shared lines, 4 slots each
+	priv := addr(60+id*4, 0)
+	out := make([]valOp, 0, ops)
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(8) {
+		case 0, 1, 2:
+			out = append(out, valOp{kind: 0, a: slot, size: 8, val: uint64(1 + rng.Intn(7))})
+		case 3:
+			out = append(out, valOp{kind: 1, a: addr(40, 8*rng.Intn(8)), size: 8, val: uint64(1 + rng.Intn(3))})
+		case 4:
+			out = append(out, valOp{kind: 2, a: addr(3, 0), size: 8, val: 1})
+		case 5, 6:
+			// Sub-word private stores make the comparison byte-precise:
+			// sizes 1, 2, 4 and 8 at arbitrary aligned offsets.
+			size := 1 << rng.Intn(4)
+			off := rng.Intn(4*blk/size) * size
+			out = append(out, valOp{kind: 3, a: priv + memsys.Addr(off), size: size, val: rng.Uint64()})
+		default:
+			off := rng.Intn(4*blk/8) * 8
+			out = append(out, valOp{kind: 4, a: priv + memsys.Addr(off), size: 8})
+		}
+	}
+	return out
+}
+
+// TestDataValueInvariant runs a hostile mixed workload (false sharing,
+// reductions, shared atomics, sub-word private traffic, tiny caches and an
+// aggressive privatization threshold) under every protocol and asserts that
+// the merged memory contents — observed through coherent loads after a full
+// barrier, which forces FSLite's PRV merge of every surviving privatized
+// copy — are byte-for-byte equal to the sequentially-consistent reference
+// execution of the same ops.
+func TestDataValueInvariant(t *testing.T) {
+	const threads, ops = 7, 300 // 7 workers + 1 checker = the 8 simulated cores
+	region := coherence.AddrRange{Start: addr(40, 0), Size: blk}
+	for _, mode := range []coherence.Protocol{coherence.Baseline, coherence.FSDetect, coherence.FSLite} {
+		for seed := int64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", mode, seed), func(t *testing.T) {
+				// Reference execution and touched-word inventory.
+				ref := refMem{}
+				touched := map[memsys.Addr]bool{}
+				streams := make([][]valOp, threads)
+				for id := 0; id < threads; id++ {
+					streams[id] = genValOps(id, threads, ops, seed*100_000)
+					for _, op := range streams[id] {
+						if op.kind == 4 {
+							continue
+						}
+						switch op.kind {
+						case 3:
+							ref.store(op.a, op.size, op.val)
+						default:
+							ref.add(op.a, op.size, op.val)
+						}
+						touched[op.a.BlockAlign(8)] = true
+					}
+				}
+				var words []memsys.Addr
+				for a := range touched {
+					words = append(words, a)
+				}
+				sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+
+				// Simulated execution: replay each stream, then a checker
+				// thread reads every touched word through the hierarchy.
+				cfg := smallConfig(mode)
+				bar := &cpu.Barrier{CountAddr: addr(55, 0), SenseAddr: addr(55, 8), Threads: threads + 1}
+				var ths []cpu.ThreadFunc
+				for id := 0; id < threads; id++ {
+					stream := streams[id]
+					ths = append(ths, func(c *cpu.Ctx) {
+						var sense uint64
+						for _, op := range stream {
+							switch op.kind {
+							case 0, 2:
+								c.AtomicAdd(op.a, op.size, op.val)
+							case 1:
+								c.Reduce(op.a, op.size, op.val)
+							case 3:
+								c.Store(op.a, op.size, op.val)
+							case 4:
+								c.Load(op.a, op.size)
+							}
+						}
+						bar.Wait(c, &sense)
+					})
+				}
+				got := make([]uint64, len(words))
+				ths = append(ths, func(c *cpu.Ctx) {
+					var sense uint64
+					bar.Wait(c, &sense)
+					for i, a := range words {
+						got[i] = c.Load(a, 8)
+					}
+				})
+				res := mustRun(t, cfg, Workload{Name: "data-value", Threads: ths,
+					ReductionRegions: []coherence.AddrRange{region}})
+
+				bad := 0
+				for i, a := range words {
+					if want := ref.load(a, 8); got[i] != want {
+						t.Errorf("%v: word %v = %#x, reference %#x", mode, a, got[i], want)
+						if bad++; bad > 8 {
+							t.Fatal("too many mismatches")
+						}
+					}
+				}
+				if mode == coherence.FSLite && res.Stats.Get(stats.CtrFSPrivatized) == 0 {
+					t.Fatal("data-value workload never privatized: PRV merge path not exercised")
+				}
+			})
+		}
+	}
 }
 
 func TestStressNonInclusiveLLC(t *testing.T) {

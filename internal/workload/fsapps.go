@@ -69,8 +69,12 @@ func buildRC(v Variant, s Scale) []cpu.ThreadFunc {
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
 		slot := slots[t]
+		// Allocate per-thread state here, not in the thread body: thread
+		// prologues run concurrently, and the Arena is not (and must not
+		// need to be) thread-safe — builder-side allocation keeps the
+		// address layout deterministic regardless of goroutine scheduling.
+		priv := newPrivMix(a, 24)
 		ths = append(ths, func(c *cpu.Ctx) {
-			priv := newPrivMix(a, 24)
 			for i := 0; i < iters; i++ {
 				c.AtomicAdd(slot, 8, 1)
 				priv.touch(c, 2)
@@ -102,8 +106,8 @@ func buildLR(v Variant, s Scale) []cpu.ThreadFunc {
 	for t := 0; t < threadsFS; t++ {
 		acc := accs[t]
 		points := a.privateRegion(64) // per-thread input points, fits L1
+		priv := newPrivMix(a, 40)
 		ths = append(ths, func(c *cpu.Ctx) {
-			priv := newPrivMix(a, 40)
 			for i := 0; i < iters; i++ {
 				// Load the next point (private, hits after warmup).
 				p := points + memsys.Addr((i%256)*16%(64*lineSize))
@@ -161,9 +165,9 @@ func buildLT(v Variant, s Scale) []cpu.ThreadFunc {
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
 		t := t
+		hot := newPrivMix(a, 40)
+		records := newPrivMix(a, recordLines)
 		ths = append(ths, func(c *cpu.Ctx) {
-			hot := newPrivMix(a, 40)
-			records := newPrivMix(a, recordLines)
 			for i := 0; i < iters; i++ {
 				slot := all[(i%slotsPerThread)*threadsFS+t]
 				c.LockAcquire(slot)
@@ -193,8 +197,8 @@ func buildLL(v Variant, s Scale) []cpu.ThreadFunc {
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
 		t := t
+		priv := newPrivMix(a, 48)
 		ths = append(ths, func(c *cpu.Ctx) {
-			priv := newPrivMix(a, 48)
 			for i := 0; i < iters; i++ {
 				slot := all[(i%slotsPerThread)*threadsFS+t]
 				c.AtomicAdd(slot, 8, 1)
@@ -223,8 +227,8 @@ func buildBS(v Variant, s Scale) []cpu.ThreadFunc {
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
 		t := t
+		priv := newPrivMix(a, 64)
 		ths = append(ths, func(c *cpu.Ctx) {
-			priv := newPrivMix(a, 64)
 			compute := uint64(6)
 			if v == VariantHuron {
 				compute = 5 // Huron commits ~15% fewer instructions on BS
@@ -307,8 +311,8 @@ func buildSF(v Variant, s Scale) []cpu.ThreadFunc {
 	for t := 0; t < threadsFS; t++ {
 		t := t
 		desc := descs[t]
+		priv := newPrivMix(a, 48)
 		ths = append(ths, func(c *cpu.Ctx) {
-			priv := newPrivMix(a, 48)
 			node := uint64(t + 1)
 			for i := 0; i < iters; i++ {
 				// Tree walk: a few shared read-only loads (S copies hit
@@ -348,8 +352,8 @@ func buildSM(v Variant, s Scale) []cpu.ThreadFunc {
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
 		slot := results[t]
+		priv := newPrivMix(a, 64)
 		ths = append(ths, func(c *cpu.Ctx) {
-			priv := newPrivMix(a, 64)
 			var sense uint64
 			for p := 0; p < phases; p++ {
 				// Process a batch of keys privately.

@@ -45,8 +45,10 @@ func buildBO(v Variant, s Scale) []cpu.ThreadFunc {
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
 		t := t
+		// Arena allocation must stay on the builder side: thread prologues
+		// run concurrently and the Arena is deliberately not thread-safe.
+		priv := newPrivMix(a, 96)
 		ths = append(ths, func(c *cpu.Ctx) {
-			priv := newPrivMix(a, 96)
 			for i := 0; i < iters; i++ {
 				c.Load(model+memsys.Addr(((i*7+t)%128)*lineSize), 8)
 				priv.touch(c, 5)
@@ -123,8 +125,8 @@ func buildFL(v Variant, s Scale) []cpu.ThreadFunc {
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
 		t := t
+		priv := newPrivMix(a, 80)
 		ths = append(ths, func(c *cpu.Ctx) {
-			priv := newPrivMix(a, 80)
 			for i := 0; i < iters; i++ {
 				priv.touch(c, 6)
 				c.Compute(5)

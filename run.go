@@ -157,6 +157,14 @@ func buildConfig(opt Options) sim.Config {
 
 // Run executes benchmark bench (a workload code such as "RC"; see
 // Benchmarks) under the given options.
+//
+// Run is a pure function of (bench, opt) and is safe to call from many
+// goroutines at once: every call assembles a fresh sim.System with its own
+// stats.Set, memory image, controllers and thread closures, and no package
+// in the simulator keeps mutable global state (workload models draw from
+// per-closure PRNG streams seeded by construction, never from math/rand's
+// global source). The Runner engine relies on both properties for its
+// memoization and parallel fan-out; `go test -race ./...` guards them.
 func Run(bench string, opt Options) (*Result, error) {
 	spec, err := workload.ByName(bench)
 	if err != nil {

@@ -1,0 +1,123 @@
+package fscoherence
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"fscoherence/internal/runner"
+)
+
+// Runner is the parallel experiment engine: it fans independent
+// (benchmark, Options) cells out across a bounded worker pool, memoizes
+// results for its lifetime — a cell shared by several tables (e.g. every
+// Baseline reference run) is simulated exactly once — and captures panics
+// from a misbehaving configuration as that cell's error instead of killing
+// the whole sweep.
+//
+// Every simulation is a pure function of its (benchmark, Options) cell:
+// sim.New builds a fully self-contained System (own *stats.Set, memory,
+// controllers and thread closures; workload models use per-closure PRNG
+// streams, never package-level state), so concurrent runs cannot observe
+// each other and a parallel sweep is bit-for-bit identical to a serial one.
+// NewRunner(1) executes cells inline in submission order, reproducing the
+// historical serial harness exactly.
+type Runner struct {
+	eng *runner.Engine
+}
+
+// cellKey identifies one simulation cell. Options contains only comparable
+// scalar fields, so the struct is a valid map key and two cells collide
+// exactly when they would produce identical results.
+type cellKey struct {
+	Bench string
+	Opt   Options
+}
+
+// NewRunner returns an engine running at most workers simulations at once;
+// workers <= 0 selects runtime.NumCPU().
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Runner{eng: runner.New(workers)}
+}
+
+// Workers returns the concurrency bound.
+func (r *Runner) Workers() int { return r.eng.Workers() }
+
+// SetProgress installs a per-cell completion callback (timing report).
+// Calls are serialized by the engine.
+func (r *Runner) SetProgress(fn func(bench string, opt Options, d time.Duration, err error)) {
+	r.eng.SetProgress(func(c runner.Cell) {
+		k := c.Key.(cellKey)
+		fn(k.Bench, k.Opt, c.Duration, c.Err)
+	})
+}
+
+// Future is a pending simulation cell.
+type Future struct {
+	bench string
+	opt   Options
+	h     *runner.Handle
+}
+
+// Submit schedules one cell and returns a future. Scale is normalized
+// before keying so Options{Scale: 0} and Options{Scale: 1} share a cell.
+func (r *Runner) Submit(bench string, opt Options) *Future {
+	if opt.Scale == 0 {
+		opt.Scale = 1
+	}
+	key := cellKey{Bench: bench, Opt: opt}
+	h := r.eng.Do(key, func(uint64) (any, error) {
+		return Run(bench, opt)
+	})
+	return &Future{bench: bench, opt: opt, h: h}
+}
+
+// SubmitBenches schedules one cell per benchmark with the same options.
+func (r *Runner) SubmitBenches(benches []string, opt Options) []*Future {
+	out := make([]*Future, len(benches))
+	for i, b := range benches {
+		out[i] = r.Submit(b, opt)
+	}
+	return out
+}
+
+// Run submits one cell and waits for it (memoized like any other cell).
+func (r *Runner) Run(bench string, opt Options) (*Result, error) {
+	return r.Submit(bench, opt).Result()
+}
+
+// MustRun is Run panicking on error — the historical experiment-harness
+// contract where a failed reference run is fatal to its table.
+func (r *Runner) MustRun(bench string, opt Options) *Result {
+	return r.Submit(bench, opt).Must()
+}
+
+// Wait blocks until every submitted cell has finished.
+func (r *Runner) Wait() { r.eng.Wait() }
+
+// Report returns the engine's counters (cells executed, memo hits, summed
+// simulation time). Call after Wait for sweep totals.
+func (r *Runner) Report() runner.Report { return r.eng.Report() }
+
+// Result blocks until the cell finishes.
+func (f *Future) Result() (*Result, error) {
+	v, err := f.h.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("cell %s/%v: %w", f.bench, f.opt.Protocol, err)
+	}
+	return v.(*Result), nil
+}
+
+// Must blocks and panics if the cell failed. Table builders use it so a
+// broken cell aborts only that table; cmd/fsexp recovers the panic and
+// continues the sweep with the remaining experiments.
+func (f *Future) Must() *Result {
+	res, err := f.Result()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,150 @@
+package fscoherence
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"fscoherence/internal/stats"
+)
+
+// TestRunnerDeterminism is the engine's core guarantee: the same
+// (benchmark, Options) cell run twice concurrently (on separate engines, so
+// memoization cannot serve one from the other) and once serially yields
+// identical Result stats — cycles, misses and every per-protocol counter.
+func TestRunnerDeterminism(t *testing.T) {
+	cells := []struct {
+		bench string
+		opt   Options
+	}{
+		{"LT", Options{Protocol: FSLite, Scale: testScale}},
+		{"RC", Options{Protocol: FSDetect, Scale: testScale}},
+		{"LL", Options{Protocol: Baseline, Scale: testScale}},
+	}
+	serial := NewRunner(1)
+	parA := NewRunner(4)
+	parB := NewRunner(4)
+
+	type outcome struct {
+		ref  *Result
+		a, b *Future
+	}
+	var outs []outcome
+	// Submit every cell to both parallel engines first so the concurrent
+	// copies genuinely overlap, then run the serial references.
+	for _, c := range cells {
+		outs = append(outs, outcome{a: parA.Submit(c.bench, c.opt), b: parB.Submit(c.bench, c.opt)})
+	}
+	for i, c := range cells {
+		outs[i].ref = serial.MustRun(c.bench, c.opt)
+	}
+	for i, c := range cells {
+		ra, rb := outs[i].a.Must(), outs[i].b.Must()
+		ref := outs[i].ref
+		for _, got := range []*Result{ra, rb} {
+			if got.Cycles != ref.Cycles {
+				t.Fatalf("%s/%v: cycles %d (concurrent) vs %d (serial)", c.bench, c.opt.Protocol, got.Cycles, ref.Cycles)
+			}
+			if got.MissFraction != ref.MissFraction {
+				t.Fatalf("%s/%v: miss fraction diverged", c.bench, c.opt.Protocol)
+			}
+			if !reflect.DeepEqual(got.Stats.Snapshot(), ref.Stats.Snapshot()) {
+				t.Fatalf("%s/%v: counter sets diverged between concurrent and serial runs", c.bench, c.opt.Protocol)
+			}
+		}
+		// Spot-check the per-protocol counters the tables consume.
+		for _, ctr := range []string{stats.CtrFSPrivatized, stats.CtrFSTerminations, stats.CtrNetMessages, stats.CtrNetBytes} {
+			if ra.Stats.Get(ctr) != ref.Stats.Get(ctr) {
+				t.Fatalf("%s/%v: %s = %d vs %d", c.bench, c.opt.Protocol, ctr, ra.Stats.Get(ctr), ref.Stats.Get(ctr))
+			}
+		}
+	}
+}
+
+// TestGoldenTablesSerialVsParallel asserts the acceptance criterion
+// directly: Fig 13- and Fig 14-style tables rendered from a 1-worker engine
+// and an 8-worker engine are byte-identical.
+func TestGoldenTablesSerialVsParallel(t *testing.T) {
+	builders := []struct {
+		name string
+		gen  func(*Runner, float64) *Table
+	}{
+		{"fig13", Fig13MissFractions},
+		{"fig14a", Fig14Speedup},
+	}
+	serial := NewRunner(1)
+	parallel := NewRunner(8)
+	for _, b := range builders {
+		want := b.gen(serial, testScale)
+		got := b.gen(parallel, testScale)
+		if got.CSV() != want.CSV() {
+			t.Fatalf("%s: -j 8 CSV differs from -j 1:\n--- j1 ---\n%s--- j8 ---\n%s", b.name, want.CSV(), got.CSV())
+		}
+		if got.String() != want.String() || got.Markdown() != want.Markdown() {
+			t.Fatalf("%s: rendered table differs between -j 1 and -j 8", b.name)
+		}
+	}
+}
+
+// TestRunnerMemoization: a cell shared by several tables simulates once.
+func TestRunnerMemoization(t *testing.T) {
+	r := NewRunner(2)
+	a := r.MustRun("LL", Options{Protocol: Baseline, Scale: testScale})
+	b := r.MustRun("LL", Options{Protocol: Baseline, Scale: testScale})
+	if a != b {
+		t.Fatal("identical cells returned distinct results (memo miss)")
+	}
+	// Scale 0 normalizes to 1, so those two spellings share a cell too.
+	c := r.Submit("LL", Options{Protocol: Baseline})
+	d := r.Submit("LL", Options{Protocol: Baseline, Scale: 1})
+	if c.Must() != d.Must() {
+		t.Fatal("Scale 0 and Scale 1 did not share a cell")
+	}
+	rep := r.Report()
+	if rep.Executed != 2 || rep.MemoHits != 2 {
+		t.Fatalf("report = %+v, want 2 executed / 2 memo hits", rep)
+	}
+}
+
+// TestRunnerErrorIsolation: a failing cell reports an error on its future
+// without disturbing other cells in flight.
+func TestRunnerErrorIsolation(t *testing.T) {
+	r := NewRunner(2)
+	bad := r.Submit("NOPE", Options{Protocol: Baseline})
+	good := r.Submit("LL", Options{Protocol: Baseline, Scale: testScale})
+	if _, err := bad.Result(); err == nil || !strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("bad cell error = %v", err)
+	}
+	if _, err := good.Result(); err != nil {
+		t.Fatalf("good cell poisoned by bad cell: %v", err)
+	}
+	if rep := r.Report(); rep.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", rep.Errors)
+	}
+}
+
+// TestRunnerConcurrentSubmitters drives one shared engine from many
+// goroutines (the -race tier-1 step exercises this path for data races).
+func TestRunnerConcurrentSubmitters(t *testing.T) {
+	r := NewRunner(4)
+	benches := []string{"LL", "LT", "BS", "SM"}
+	var wg sync.WaitGroup
+	results := make([]*Result, len(benches)*2)
+	for i, b := range benches {
+		for j, p := range []Protocol{Baseline, FSLite} {
+			i, j, b, p := i, j, b, p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[i*2+j] = r.MustRun(b, Options{Protocol: p, Scale: testScale})
+			}()
+		}
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil || res.Cycles == 0 {
+			t.Fatalf("slot %d: missing or empty result", i)
+		}
+	}
+}
