@@ -1,19 +1,34 @@
 # Tier-1 verification for the fscoherence reproduction.
 #
-#   make ci      — the full tier-1 gate: build, vet, tests, and the race
-#                  detector over every package (the parallel experiment
-#                  engine and the goroutine-per-thread simulator both run
-#                  under -race; see sweep_test.go and internal/runner).
+#   make ci      — the full tier-1 gate: formatting, vet, build, tests, and
+#                  the race detector over every package (the parallel
+#                  experiment engine and the goroutine-per-thread simulator
+#                  both run under -race; see sweep_test.go and
+#                  internal/runner).
+#   make check   — static gate only: gofmt -l must be clean, then go vet and
+#                  the unit tests.
 #   make test    — build + unit tests only (fast inner loop).
 #   make race    — race-detector pass only.
 #   make bench   — regenerate the full evaluation via go test -bench.
 #   make sweep   — regenerate the paper's tables with the parallel engine.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: ci test race bench sweep
+.PHONY: ci check fmt test race bench sweep
 
-ci: test race
+ci: check race
+
+check: fmt test
+
+# gofmt -l prints unformatted files; any output fails the gate.
+fmt:
+	@out="$$($(GOFMT) -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
 
 test:
 	$(GO) build ./...

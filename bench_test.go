@@ -3,6 +3,8 @@ package fscoherence
 import (
 	"runtime"
 	"testing"
+
+	"fscoherence/internal/obs"
 )
 
 // One benchmark per table/figure of the paper's evaluation (see DESIGN.md's
@@ -183,4 +185,31 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cycles += r.Cycles
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkRunTracerDisabled / BenchmarkRunTracerEnabled run the same FSLite
+// cell with observability off and on. The disabled run pays one nil check
+// per would-be event (no Event construction, no allocation — pinned by
+// internal/obs's TestEmitBenchmarksDoNotAllocate); the ns/op gap between the
+// pair is the full cost of tracing when requested.
+func BenchmarkRunTracerDisabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run("LR", Options{Protocol: FSLite, Scale: benchScale}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunTracerEnabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := obs.New(obs.Config{})
+		if _, err := Run("LR", Options{Protocol: FSLite, Scale: benchScale, Obs: o}); err != nil {
+			b.Fatal(err)
+		}
+		if o.Tracer.Total() == 0 {
+			b.Fatal("enabled run traced no events")
+		}
+	}
 }

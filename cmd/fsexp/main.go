@@ -25,9 +25,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"fscoherence"
+	"fscoherence/internal/obs"
 )
 
 func main() {
@@ -43,6 +45,11 @@ func main() {
 		listExp  = flag.Bool("list", false, "list experiment IDs")
 		table2   = flag.Bool("config", false, "print the simulated system configuration (Table II)")
 		table3   = flag.Bool("benchmarks", false, "print the benchmark list (Table III)")
+		traceOut = flag.String("trace", "", "write a Chrome trace of one instrumented cell (-trace-bench under -trace-protocol)")
+		metrics  = flag.String("metrics", "", "write interval metrics CSV of the instrumented cell")
+		filter   = flag.String("trace-filter", "", "restrict traced events: addr=0x...,core=N,class=net|prv|...")
+		trBench  = flag.String("trace-bench", "LR", "benchmark for the instrumented cell")
+		trProto  = flag.String("trace-protocol", "fslite", "protocol for the instrumented cell")
 	)
 	flag.Parse()
 
@@ -127,15 +134,71 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *traceOut != "" || *metrics != "" {
+		traceCell(eng, *trBench, *trProto, *scale, *traceOut, *metrics, *filter)
+	}
+
 	eng.Wait()
 	rep := eng.Report()
 	fmt.Fprintf(os.Stderr, "[sweep: %d cells simulated, %d served from cache, sim time %v, wall %v, -j %d]\n",
 		rep.Executed, rep.MemoHits, rep.TaskTime.Round(time.Millisecond),
 		time.Since(sweepStart).Round(time.Millisecond), eng.Workers())
+	if m := rep.Metrics; len(m) > 0 {
+		fmt.Fprintf(os.Stderr, "[sweep metrics: %d runs, %d total cycles (max cell %d), %d detections, %d contended lines]\n",
+			m["runs"], m["cycles"], m["cycles.max.peak"], m["detections"], m["contended"])
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "fsexp: %d experiment(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// traceCell runs one extra instrumented cell on the engine and exports its
+// trace and metrics. The cell's Options carry the Obs pointer, so it is a
+// distinct memo key and always executes (with deterministic results, the
+// trace is byte-identical for any -j).
+func traceCell(eng *fscoherence.Runner, bench, protocol string, scale float64, traceOut, metricsOut, filterSpec string) {
+	var p fscoherence.Protocol
+	switch strings.ToLower(protocol) {
+	case "baseline", "mesi":
+		p = fscoherence.Baseline
+	case "fsdetect", "detect":
+		p = fscoherence.FSDetect
+	case "fslite", "lite":
+		p = fscoherence.FSLite
+	default:
+		fmt.Fprintf(os.Stderr, "fsexp: unknown -trace-protocol %q\n", protocol)
+		os.Exit(1)
+	}
+	f, err := obs.ParseFilter(filterSpec, fscoherence.DefaultBlockSize())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsexp:", err)
+		os.Exit(1)
+	}
+	o := obs.New(obs.Config{Filter: f})
+	if _, err := eng.Run(bench, fscoherence.Options{Protocol: p, Scale: scale, Obs: o}); err != nil {
+		fmt.Fprintln(os.Stderr, "fsexp:", err)
+		os.Exit(1)
+	}
+	write := func(path string, fn func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		fh, err := os.Create(path)
+		if err == nil {
+			err = fn(fh)
+		}
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsexp:", err)
+			os.Exit(1)
+		}
+	}
+	write(traceOut, func(fh *os.File) error { return obs.WriteChromeTrace(fh, o.Tracer.Events()) })
+	write(metricsOut, func(fh *os.File) error { return o.Metrics.WriteCSV(fh) })
+	fmt.Fprintf(os.Stderr, "[traced %s/%s: %d events]\n", bench, protocol, o.Tracer.Total())
 }
 
 // genTable runs one table builder, converting a failed cell's panic

@@ -1,12 +1,15 @@
 // Command fsreport runs FSDetect on a workload and prints a detailed
 // false-sharing report: the detected lines, the cores involved, episode
 // counts and the supporting protocol statistics — the "detector as a
-// diagnostics tool" use case of §II.
+// diagnostics tool" use case of §II. The JSON schema includes per-line
+// detection timelines and the L1D miss-latency histogram, both sourced from
+// the unified observability layer.
 //
 // Usage:
 //
 //	fsreport -bench LR
 //	fsreport -bench LR -json
+//	fsreport -bench LR -trace out.json -metrics out.csv
 package main
 
 import (
@@ -16,36 +19,18 @@ import (
 	"os"
 
 	"fscoherence"
+	"fscoherence/internal/obs"
 )
-
-// report is the JSON output schema.
-type report struct {
-	Benchmark      string      `json:"benchmark"`
-	Cycles         uint64      `json:"cycles"`
-	OverheadPct    float64     `json:"detection_overhead_pct"`
-	L1MissFraction float64     `json:"l1d_miss_fraction"`
-	Invalidations  uint64      `json:"invalidations"`
-	Interventions  uint64      `json:"interventions"`
-	MetadataMsgs   uint64      `json:"metadata_messages"`
-	PhantomMsgs    uint64      `json:"phantom_messages"`
-	Lines          []lineEntry `json:"falsely_shared_lines"`
-	Contended      []lineEntry `json:"contended_lines"`
-}
-
-type lineEntry struct {
-	Address    string `json:"address"`
-	Writers    []int  `json:"writers"`
-	Readers    []int  `json:"readers"`
-	Episodes   int    `json:"episodes"`
-	FirstCycle uint64 `json:"first_detected_cycle"`
-}
 
 func main() {
 	var (
-		bench   = flag.String("bench", "RC", "benchmark code (fsrun -list shows all)")
-		scale   = flag.Float64("scale", 1.0, "workload size multiplier")
-		asJSON  = flag.Bool("json", false, "emit machine-readable JSON")
-		variant = flag.String("variant", "default", "default | padded | huron")
+		bench    = flag.String("bench", "RC", "benchmark code (fsrun -list shows all)")
+		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON")
+		variant  = flag.String("variant", "default", "default | padded | huron")
+		traceOut = flag.String("trace", "", "also write the FSDetect run's Chrome trace-event JSON to this file")
+		metrics  = flag.String("metrics", "", "also write the FSDetect run's interval metrics CSV to this file")
+		filter   = flag.String("trace-filter", "", "override the trace filter (default: detector events only)")
 	)
 	flag.Parse()
 
@@ -57,36 +42,49 @@ func main() {
 		v = fscoherence.LayoutHuron
 	}
 
+	o := detectionObs()
+	if *filter != "" {
+		f, err := obs.ParseFilter(*filter, fscoherence.DefaultBlockSize())
+		if err != nil {
+			fatal(err)
+		}
+		o = obs.New(obs.Config{Filter: f})
+	}
+
 	base, err := fscoherence.Run(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale})
 	if err != nil {
 		fatal(err)
 	}
-	det, err := fscoherence.Run(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale})
+	det, err := fscoherence.Run(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale, Obs: o})
 	if err != nil {
 		fatal(err)
 	}
 
-	rep := report{
-		Benchmark:      *bench,
-		Cycles:         det.Cycles,
-		OverheadPct:    100 * (float64(det.Cycles)/float64(base.Cycles) - 1),
-		L1MissFraction: det.MissFraction,
-		Invalidations:  det.Stats.Get("dir.invalidations"),
-		Interventions:  det.Stats.Get("dir.interventions"),
-		MetadataMsgs:   det.Stats.Get("fs.metadata_messages"),
-		PhantomMsgs:    det.Stats.Get("fs.phantom_messages"),
+	rep := buildReport(*bench, base, det)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, o.Tracer.Events()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
-	for _, d := range det.Detections {
-		rep.Lines = append(rep.Lines, lineEntry{
-			Address: d.Addr.String(), Writers: d.Writers, Readers: d.Readers,
-			Episodes: d.Episodes, FirstCycle: d.Cycle,
-		})
-	}
-	for _, d := range det.Contended {
-		rep.Contended = append(rep.Contended, lineEntry{
-			Address: d.Addr.String(), Writers: d.Writers, Readers: d.Readers,
-			Episodes: d.Episodes, FirstCycle: d.Cycle,
-		})
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		if err := o.Metrics.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *asJSON {
@@ -103,6 +101,9 @@ func main() {
 	fmt.Printf("  L1D miss fraction   %.2f%%\n", 100*rep.L1MissFraction)
 	fmt.Printf("  invalidations       %d, interventions %d\n", rep.Invalidations, rep.Interventions)
 	fmt.Printf("  metadata messages   %d (%d phantom)\n", rep.MetadataMsgs, rep.PhantomMsgs)
+	if h := rep.MissLatency; h != nil {
+		fmt.Printf("  L1D miss latency    n=%d mean=%.1f min=%d max=%d cycles\n", h.Count, h.Mean, h.Min, h.Max)
+	}
 	if len(rep.Lines) == 0 {
 		fmt.Println("\nno harmful false sharing detected")
 	} else {
@@ -110,6 +111,9 @@ func main() {
 		for _, l := range rep.Lines {
 			fmt.Printf("  %-12s writers=%v readers=%v episodes=%d first-at=%d\n",
 				l.Address, l.Writers, l.Readers, l.Episodes, l.FirstCycle)
+			for _, te := range l.Timeline {
+				fmt.Printf("    cycle %-10d %-13s episode %d\n", te.Cycle, te.Event, te.Episode)
+			}
 		}
 	}
 	if len(rep.Contended) > 0 {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fscoherence"
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/memsys"
+	"fscoherence/internal/obs"
+)
+
+// report is the JSON output schema.
+type report struct {
+	Benchmark      string      `json:"benchmark"`
+	Cycles         uint64      `json:"cycles"`
+	OverheadPct    float64     `json:"detection_overhead_pct"`
+	L1MissFraction float64     `json:"l1d_miss_fraction"`
+	Invalidations  uint64      `json:"invalidations"`
+	Interventions  uint64      `json:"interventions"`
+	MetadataMsgs   uint64      `json:"metadata_messages"`
+	PhantomMsgs    uint64      `json:"phantom_messages"`
+	Lines          []lineEntry `json:"falsely_shared_lines"`
+	Contended      []lineEntry `json:"contended_lines"`
+
+	// MissLatency is the L1D demand-miss latency distribution recorded by
+	// the observability layer (absent when observability was off).
+	MissLatency *histogramEntry `json:"miss_latency_histogram,omitempty"`
+}
+
+type lineEntry struct {
+	Address    string `json:"address"`
+	Writers    []int  `json:"writers"`
+	Readers    []int  `json:"readers"`
+	Episodes   int    `json:"episodes"`
+	FirstCycle uint64 `json:"first_detected_cycle"`
+
+	// Timeline lists every detection episode for the line in cycle order
+	// (from the event tracer; absent when observability was off).
+	Timeline []timelineEvent `json:"timeline,omitempty"`
+}
+
+// timelineEvent is one detector classification of a line.
+type timelineEvent struct {
+	Cycle   uint64 `json:"cycle"`
+	Event   string `json:"event"` // "fs.detect" or "fs.contended"
+	Episode uint64 `json:"episode"`
+}
+
+// histogramEntry serializes an obs.Histogram.
+type histogramEntry struct {
+	Count   uint64        `json:"count"`
+	Mean    float64       `json:"mean"`
+	Min     uint64        `json:"min"`
+	Max     uint64        `json:"max"`
+	Buckets []bucketEntry `json:"buckets"`
+}
+
+type bucketEntry struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// detectionObs returns the observability attachment fsreport hands to the
+// FSDetect run: the ring buffer keeps only detector classifications (the
+// timeline source), while metrics — including the miss-latency histogram —
+// are unaffected by the trace filter.
+func detectionObs() *obs.Obs {
+	return obs.New(obs.Config{
+		Filter: obs.Filter{Kinds: obs.Mask(obs.KindDetect, obs.KindContended)},
+	})
+}
+
+// buildReport assembles the report from the baseline and FSDetect results.
+// det.Obs may be nil (timelines and the histogram are then omitted).
+func buildReport(bench string, base, det *fscoherence.Result) report {
+	rep := report{
+		Benchmark:      bench,
+		Cycles:         det.Cycles,
+		OverheadPct:    100 * (float64(det.Cycles)/float64(base.Cycles) - 1),
+		L1MissFraction: det.MissFraction,
+		Invalidations:  det.Stats.Get("dir.invalidations"),
+		Interventions:  det.Stats.Get("dir.interventions"),
+		MetadataMsgs:   det.Stats.Get("fs.metadata_messages"),
+		PhantomMsgs:    det.Stats.Get("fs.phantom_messages"),
+	}
+
+	timelines := map[memsys.Addr][]timelineEvent{}
+	if t := det.Obs.GetTracer(); t != nil {
+		for _, e := range t.Events() {
+			switch e.Kind {
+			case obs.KindDetect, obs.KindContended:
+				timelines[e.Addr] = append(timelines[e.Addr], timelineEvent{
+					Cycle: e.Cycle, Event: e.Kind.String(), Episode: e.Arg,
+				})
+			}
+		}
+	}
+
+	entry := func(d fscoherence.Detection) lineEntry {
+		return lineEntry{
+			Address: d.Addr.String(), Writers: d.Writers, Readers: d.Readers,
+			Episodes: d.Episodes, FirstCycle: d.Cycle,
+			Timeline: timelines[d.Addr],
+		}
+	}
+	for _, d := range det.Detections {
+		rep.Lines = append(rep.Lines, entry(d))
+	}
+	for _, d := range det.Contended {
+		rep.Contended = append(rep.Contended, entry(d))
+	}
+
+	if h := det.Obs.GetMetrics().Hist(coherence.HistMissLatency); h.Count() > 0 {
+		he := &histogramEntry{Count: h.Count(), Mean: h.Mean(), Min: h.Min(), Max: h.Max()}
+		for _, b := range h.Buckets() {
+			he.Buckets = append(he.Buckets, bucketEntry{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+		}
+		rep.MissLatency = he
+	}
+	return rep
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"fscoherence"
+)
+
+// TestReportSchemaRoundTrip builds a report from a real FSDetect run with the
+// observability layer attached and checks that the JSON schema round-trips
+// losslessly: encode -> decode -> re-encode yields an identical structure and
+// identical bytes, and the observability-sourced fields are populated.
+func TestReportSchemaRoundTrip(t *testing.T) {
+	o := detectionObs()
+	base, err := fscoherence.Run("LR", fscoherence.Options{Protocol: fscoherence.Baseline, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := fscoherence.Run("LR", fscoherence.Options{Protocol: fscoherence.FSDetect, Scale: 0.5, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := buildReport("LR", base, det)
+
+	if len(rep.Lines) == 0 {
+		t.Fatal("LR under FSDetect reported no falsely shared lines")
+	}
+	for _, l := range rep.Lines {
+		if len(l.Timeline) == 0 {
+			t.Errorf("line %s has no detection timeline", l.Address)
+		}
+		for _, te := range l.Timeline {
+			if te.Event != "fs.detect" && te.Event != "fs.contended" {
+				t.Errorf("line %s: unexpected timeline event %q", l.Address, te.Event)
+			}
+			if te.Cycle == 0 || te.Episode == 0 {
+				t.Errorf("line %s: zero cycle/episode in %+v", l.Address, te)
+			}
+		}
+	}
+	if rep.MissLatency == nil {
+		t.Fatal("report lacks the miss-latency histogram")
+	}
+	if rep.MissLatency.Count == 0 || len(rep.MissLatency.Buckets) == 0 {
+		t.Fatalf("empty miss-latency histogram: %+v", rep.MissLatency)
+	}
+	var n uint64
+	for _, b := range rep.MissLatency.Buckets {
+		if b.Hi < b.Lo {
+			t.Errorf("inverted bucket %+v", b)
+		}
+		n += b.Count
+	}
+	if n != rep.MissLatency.Count {
+		t.Errorf("bucket counts sum to %d, want %d", n, rep.MissLatency.Count)
+	}
+
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("report does not round-trip:\n got %+v\nwant %+v", back, rep)
+	}
+	blob2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Error("re-encoded report differs from first encoding")
+	}
+}

@@ -6,12 +6,19 @@
 // With -compare the three protocol runs fan out on the experiment engine
 // (-j workers, default all CPUs); results are deterministic for any -j.
 //
+// Observability: -trace writes the run's event stream as Chrome trace-event
+// JSON (open in Perfetto / chrome://tracing), -metrics writes interval
+// counter snapshots and histograms as CSV, -trace-filter restricts recorded
+// events ("addr=0x10040,core=1,class=net|prv").
+//
 // Usage:
 //
 //	fsrun -bench RC -protocol fslite
+//	fsrun -bench LR -mode fslite -trace out.json -metrics out.csv
 //	fsrun -bench RC -compare
 //	fsrun -bench RC -compare -j 3
 //	fsrun -list
+//	fsrun -counters
 package main
 
 import (
@@ -22,12 +29,15 @@ import (
 	"strings"
 
 	"fscoherence"
+	"fscoherence/internal/obs"
+	"fscoherence/internal/stats"
 )
 
 func main() {
 	var (
 		bench    = flag.String("bench", "RC", "benchmark code (see -list)")
 		protocol = flag.String("protocol", "baseline", "baseline | fsdetect | fslite")
+		mode     = flag.String("mode", "", "alias for -protocol")
 		variant  = flag.String("variant", "default", "default | padded | huron")
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
 		jobs     = flag.Int("j", runtime.NumCPU(), "max concurrent simulations for -compare (1 = serial)")
@@ -35,8 +45,23 @@ func main() {
 		verify   = flag.Bool("verify", false, "enable oracle and SWMR verification")
 		list     = flag.Bool("list", false, "list available benchmarks")
 		full     = flag.Bool("stats", false, "dump all counters")
+		traceOut = flag.String("trace", "", "write Chrome trace-event JSON to this file (open in Perfetto)")
+		metrics  = flag.String("metrics", "", "write interval metrics CSV to this file")
+		filter   = flag.String("trace-filter", "", "restrict traced events: addr=0x...,core=N,class=net|l1|dir|detect|prv|commit|oracle")
+		counters = flag.Bool("counters", false, "print the canonical counter-name table and exit")
 	)
 	flag.Parse()
+	if *mode != "" {
+		*protocol = *mode
+	}
+
+	if *counters {
+		fmt.Printf("| %-24s | %s |\n|%s|%s|\n", "Counter", "Meaning", strings.Repeat("-", 26), strings.Repeat("-", 60))
+		for _, c := range stats.Canonical() {
+			fmt.Printf("| %-24s | %s |\n", "`"+c.Name+"`", c.Desc)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-5s %-22s %-12s %-8s %s\n", "CODE", "NAME", "SUITE", "THREADS", "FALSE SHARING")
@@ -54,13 +79,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	p, err := parseProtocol(*protocol)
+	if err != nil {
+		fatal(err)
+	}
+	o := buildObs(*traceOut, *metrics, *filter)
 
 	if *compare {
-		// The three protocol runs are independent cells: fan them out.
+		// The three protocol runs are independent cells: fan them out. The
+		// observability attachment goes to the cell -protocol/-mode selects.
+		obsFor := func(pr fscoherence.Protocol) *obs.Obs {
+			if pr == p {
+				return o
+			}
+			return nil
+		}
 		eng := fscoherence.NewRunner(*jobs)
-		baseF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale, Verify: *verify})
-		detF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale, Verify: *verify})
-		fslF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSLite, Variant: v, Scale: *scale, Verify: *verify})
+		baseF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.Baseline)})
+		detF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.FSDetect)})
+		fslF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSLite, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.FSLite)})
 		base, det, fsl := collect(baseF), collect(detF), collect(fslF)
 		fmt.Printf("benchmark %s (%s layout, scale %.2f)\n\n", *bench, v, *scale)
 		fmt.Printf("%-10s %12s %10s %10s %12s %14s\n", "PROTOCOL", "CYCLES", "SPEEDUP", "L1D MISS", "NET MSGS", "ENERGY (norm)")
@@ -70,14 +107,12 @@ func main() {
 				r.Stats.Get("net.messages"), r.NormalizedEnergy(base))
 		}
 		printDetections(fsl)
+		writeObs(o, *traceOut, *metrics)
 		return
 	}
 
-	p, err := parseProtocol(*protocol)
-	if err != nil {
-		fatal(err)
-	}
-	r := run(*bench, fscoherence.Options{Protocol: p, Variant: v, Scale: *scale, Verify: *verify})
+	r := run(*bench, fscoherence.Options{Protocol: p, Variant: v, Scale: *scale, Verify: *verify, Obs: o})
+	writeObs(o, *traceOut, *metrics)
 	fmt.Printf("benchmark %s under %v (%s layout)\n", *bench, p, v)
 	fmt.Printf("cycles          %d\n", r.Cycles)
 	fmt.Printf("l1d accesses    %d\n", r.Stats.Get("l1d.accesses"))
@@ -90,6 +125,54 @@ func main() {
 	if *full {
 		fmt.Println("\ncounters:")
 		fmt.Print(r.Stats.String())
+	}
+}
+
+// buildObs assembles the observability attachment requested by the -trace /
+// -metrics / -trace-filter flags, or nil when neither output is wanted.
+func buildObs(traceOut, metricsOut, filterSpec string) *obs.Obs {
+	if traceOut == "" && metricsOut == "" {
+		return nil
+	}
+	f, err := obs.ParseFilter(filterSpec, fscoherence.DefaultBlockSize())
+	if err != nil {
+		fatal(err)
+	}
+	return obs.New(obs.Config{Filter: f})
+}
+
+// writeObs exports the trace and metrics files after a run.
+func writeObs(o *obs.Obs, traceOut, metricsOut string) {
+	if o == nil {
+		return
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteChromeTrace(f, o.Tracer.Events()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[trace: %d events -> %s (%d seen, %d dropped); open in Perfetto]\n",
+			len(o.Tracer.Events()), traceOut, o.Tracer.Total(), o.Tracer.Dropped())
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := o.Metrics.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[metrics: %d samples, %d histograms -> %s]\n",
+			len(o.Metrics.Samples()), len(o.Metrics.Histograms()), metricsOut)
 	}
 }
 

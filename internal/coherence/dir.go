@@ -6,6 +6,7 @@ import (
 
 	"fscoherence/internal/memsys"
 	"fscoherence/internal/network"
+	"fscoherence/internal/obs"
 	"fscoherence/internal/stats"
 )
 
@@ -73,6 +74,10 @@ type dirTxn struct {
 
 	// termReason labels the termination cause for statistics.
 	termReason string
+
+	// termInvals counts the Inv_PRV messages sent to collect private
+	// copies (observability: invalidations per episode).
+	termInvals int
 }
 
 // dirLine is the per-block payload of an LLC/directory entry.
@@ -85,6 +90,9 @@ type dirLine struct {
 	owner   int     // valid when state == DirOwned
 	txn     *dirTxn
 	pendq   []*network.Msg
+
+	// prvSince stamps entry into DirPrv (for episode-length observability).
+	prvSince uint64
 }
 
 // memFill is a pending main-memory access.
@@ -113,6 +121,11 @@ type Dir struct {
 	// dataDir tracks which blocks hold a data copy in the (separately
 	// sized) LLC data array when the directory is sparse/non-inclusive.
 	dataDir *memsys.SetAssoc[struct{}]
+
+	// Observability attachments (nil when disabled; see SetObs).
+	trace          *obs.Tracer
+	episodeHist    *obs.Histogram
+	episodeInvHist *obs.Histogram
 }
 
 // NewDir builds directory slice s. policy may be nil (baseline protocol).
@@ -274,6 +287,7 @@ func (d *Dir) ensureData(e *memsys.Entry[dirLine], m *network.Msg) bool {
 	}
 	line.txn = &dirTxn{kind: txnMemFill, refetch: true}
 	line.pendq = append(line.pendq, m)
+	d.stats.Max(stats.CtrDirPendqPeak, uint64(len(line.pendq)))
 	d.pinLine(e.Tag)
 	d.stats.Inc(stats.CtrMemReads)
 	d.memq = append(d.memq, memFill{readyAt: d.now + d.params.MemLatency, addr: e.Tag})
@@ -385,6 +399,7 @@ func (d *Dir) handleRequest(m *network.Msg) {
 	if line.txn != nil {
 		d.stats.Inc(stats.CtrDirPendingQ)
 		line.pendq = append(line.pendq, m)
+		d.stats.Max(stats.CtrDirPendqPeak, uint64(len(line.pendq)))
 		return
 	}
 	d.stats.Inc(stats.CtrLLCHits)
@@ -461,7 +476,7 @@ func (d *Dir) serveGetS(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 			return
 		}
 		d.sendAfter(&network.Msg{Op: network.OpDataExcl, Dst: m.Requestor, Addr: e.Tag, Data: cloneBytes(line.data)}, d.dataLat())
-		line.state = DirOwned
+		d.setState(e, DirOwned)
 		line.owner = core
 	case DirShared:
 		if !d.ensureData(e, m) {
@@ -497,7 +512,7 @@ func (d *Dir) serveGetX(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 			return
 		}
 		d.sendAfter(&network.Msg{Op: network.OpDataExcl, Dst: m.Requestor, Addr: e.Tag, Data: cloneBytes(line.data)}, d.dataLat())
-		line.state = DirOwned
+		d.setState(e, DirOwned)
 		line.owner = core
 	case DirShared:
 		if !d.ensureData(e, m) {
@@ -517,7 +532,7 @@ func (d *Dir) serveGetX(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 			}
 		}
 		d.sendAfter(&network.Msg{Op: network.OpDataExcl, Dst: m.Requestor, Addr: e.Tag, Data: cloneBytes(line.data), AckCount: n}, d.dataLat())
-		line.state = DirOwned
+		d.setState(e, DirOwned)
 		line.owner = core
 		line.sharers = 0
 	case DirOwned:
@@ -562,7 +577,7 @@ func (d *Dir) serveUpgrade(e *memsys.Entry[dirLine], m *network.Msg, requestMD b
 		}
 	}
 	d.sendAfter(&network.Msg{Op: network.OpUpgradeAck, Dst: m.Requestor, Addr: e.Tag, AckCount: n}, d.ctrlLat())
-	line.state = DirOwned
+	d.setState(e, DirOwned)
 	line.owner = core
 	line.sharers = 0
 }
@@ -684,14 +699,17 @@ func (d *Dir) maybeFinishPrvInit(e *memsys.Entry[dirLine]) {
 		if txn.prvJoin.empty() {
 			line.txn = nil
 			d.unpinLine(e.Tag)
-			line.state = DirIdle
+			d.tracePrvAbort(e.Tag)
+			d.setState(e, DirIdle)
 			line.sharers = 0
 			m.Counted = true
 			d.retryq = append(d.retryq, m)
 			d.drainPendq(line)
 			return
 		}
-		line.state = DirPrv
+		d.tracePrvAbort(e.Tag)
+		d.setState(e, DirPrv)
+		line.prvSince = d.now
 		line.sharers = txn.prvJoin
 		line.txn = nil
 		d.startPrvTerm(e, m, false, "abort")
@@ -701,7 +719,11 @@ func (d *Dir) maybeFinishPrvInit(e *memsys.Entry[dirLine]) {
 	// Commit privatization.
 	d.stats.Inc(stats.CtrFSPrivatized)
 	d.policy.OnPrivatize(e.Tag)
-	line.state = DirPrv
+	d.setState(e, DirPrv)
+	line.prvSince = d.now
+	if t := d.trace; t != nil {
+		t.Emit(obs.Event{Cycle: d.now, Kind: obs.KindPrvBegin, Core: -1, Slice: int16(d.slice), Addr: e.Tag, Arg: uint64(core)})
+	}
 	line.sharers = txn.prvJoin
 	line.txn = nil
 	d.unpinLine(e.Tag)
@@ -749,6 +771,7 @@ func (d *Dir) startPrvTerm(e *memsys.Entry[dirLine], heldReq *network.Msg, evict
 		mergeBuf:   cloneBytes(line.data),
 		evictAfter: evictAfter,
 		termReason: reason,
+		termInvals: line.sharers.count(),
 	}
 	line.txn = txn
 	d.pinLine(e.Tag)
@@ -768,7 +791,8 @@ func (d *Dir) maybeFinishPrvTerm(e *memsys.Entry[dirLine]) {
 	line.dirty = true
 	d.touchData(e)
 	d.policy.OnTerminate(e.Tag)
-	line.state = DirIdle
+	d.tracePrvTerminate(e, txn.termReason, txn.termInvals)
+	d.setState(e, DirIdle)
 	if d.dataDir != nil {
 		d.dataDir.Unpin(e.Tag)
 	}
@@ -833,7 +857,7 @@ func (d *Dir) onWB(m *network.Msg) {
 			line.dirty = true
 			d.touchData(e)
 		}
-		line.state = DirIdle
+		d.setState(e, DirIdle)
 		d.sendAfter(&network.Msg{Op: network.OpWBAck, Dst: m.Src, Addr: e.Tag}, d.ctrlLat())
 		return
 	}
@@ -931,6 +955,7 @@ func (d *Dir) onPrvWB(m *network.Msg) {
 	if txn != nil && txn.kind == txnPrvTerm {
 		// Merge the bytes whose last writer is the responder (§V-C).
 		d.mergePrvCopy(txn.mergeBuf, m, src, e.Tag)
+		d.tracePrvMerge(e.Tag, src)
 		txn.expect.remove(src)
 		d.sendAfter(&network.Msg{Op: network.OpWBAck, Dst: m.Src, Addr: e.Tag}, d.ctrlLat())
 		d.maybeFinishPrvTerm(e)
@@ -941,6 +966,7 @@ func (d *Dir) onPrvWB(m *network.Msg) {
 		// Its PAM entry was cleared at TR_PRV, so it cannot have written;
 		// merging by the (pre-reset) SAM last-writer info is value-safe.
 		d.mergePrvCopy(line.data, m, src, e.Tag)
+		d.tracePrvMerge(e.Tag, src)
 		line.dirty = true
 		txn.prvJoin.remove(src)
 		d.sendAfter(&network.Msg{Op: network.OpWBAck, Dst: m.Src, Addr: e.Tag}, d.ctrlLat())
@@ -950,6 +976,7 @@ func (d *Dir) onPrvWB(m *network.Msg) {
 	if line.state == DirPrv && txn == nil {
 		// Eviction of a privatized copy (§V-D).
 		d.mergePrvCopy(line.data, m, src, e.Tag)
+		d.tracePrvMerge(e.Tag, src)
 		line.dirty = true
 		d.policy.OnPrvEviction(e.Tag, src)
 		line.sharers.remove(src)
@@ -1016,7 +1043,7 @@ func (d *Dir) onDataToDir(m *network.Msg) {
 		line.data = cloneBytes(m.Data)
 		line.dirty = true
 		d.touchData(e)
-		line.state = DirShared
+		d.setState(e, DirShared)
 		line.sharers = 0
 		if !txn.wbRace {
 			line.sharers.add(txn.oldOwner)
@@ -1108,6 +1135,7 @@ func (d *Dir) allocate(blk memsys.Addr, m *network.Msg) {
 	}
 	e.Payload = dirLine{state: DirIdle, txn: &dirTxn{kind: txnMemFill}}
 	e.Payload.pendq = append(e.Payload.pendq, m)
+	d.stats.Max(stats.CtrDirPendqPeak, uint64(len(e.Payload.pendq)))
 	d.pinLine(blk)
 	d.stats.Inc(stats.CtrMemReads)
 	d.memq = append(d.memq, memFill{readyAt: d.now + d.params.MemLatency, addr: blk})
@@ -1173,6 +1201,7 @@ func (d *Dir) maybeFinishEvict(e *memsys.Entry[dirLine]) {
 // entry and all metadata for it.
 func (d *Dir) dropLine(e *memsys.Entry[dirLine]) {
 	line := &e.Payload
+	d.traceState(e.Tag, line.state, DirIdle)
 	if line.dirty && line.hasData {
 		d.mem.WriteBlock(e.Tag, line.data)
 		d.stats.Inc(stats.CtrMemWrites)
@@ -1215,6 +1244,7 @@ func (d *Dir) finishMemFill(blk memsys.Addr) {
 	for _, m := range pend {
 		if line.txn != nil {
 			line.pendq = append(line.pendq, m)
+			d.stats.Max(stats.CtrDirPendqPeak, uint64(len(line.pendq)))
 			continue
 		}
 		d.serve(e, m)

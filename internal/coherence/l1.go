@@ -5,6 +5,7 @@ import (
 
 	"fscoherence/internal/memsys"
 	"fscoherence/internal/network"
+	"fscoherence/internal/obs"
 	"fscoherence/internal/stats"
 )
 
@@ -64,6 +65,9 @@ type mshr struct {
 	// payload stashes grant data until outstanding InvAcks are collected.
 	payload []byte
 
+	// start stamps transaction issue for the miss-latency histogram.
+	start uint64
+
 	// deferred buffers directory-initiated messages (Fwd_Get*/TR_PRV/recall
 	// Inv) that arrived while our own grant was still in flight: the
 	// directory already considers us the owner/sharer, so the message is
@@ -108,6 +112,10 @@ type L1 struct {
 	stats    *stats.Set
 	obs      Observer
 	now      uint64
+
+	// Observability attachments (nil when disabled; see SetObs).
+	trace    *obs.Tracer
+	missHist *obs.Histogram
 
 	local []scheduledDone // local hits awaiting the hit latency
 }
@@ -165,6 +173,9 @@ func (l *L1) peekAny(a memsys.Addr) *memsys.Entry[l1Line] {
 
 // invalidateAny removes a from whichever private level holds it.
 func (l *L1) invalidateAny(a memsys.Addr) {
+	if e := l.peekAny(a); e != nil {
+		l.traceState(a, e.Payload.state, L1Invalid)
+	}
 	if l.cache.Peek(a) != nil {
 		l.cache.Invalidate(a)
 		return
@@ -369,6 +380,7 @@ func (l *L1) tryLocal(a *Access, blk memsys.Addr, e *memsys.Entry[l1Line]) (Subm
 			return SubmitHit, true
 		case L1Exclusive:
 			e.Payload.state = L1Modified // silent E->M upgrade
+			l.traceState(blk, L1Exclusive, L1Modified)
 			l.hit(a)
 			return SubmitHit, true
 		case L1Shared:
@@ -398,7 +410,7 @@ func (l *L1) scheduleLocal(a *Access) {
 
 // startTxn allocates an MSHR and sends the request.
 func (l *L1) startTxn(a *Access, blk memsys.Addr, st mshrState, op network.Op) {
-	m := &mshr{addr: blk, state: st, access: a}
+	m := &mshr{addr: blk, state: st, access: a, start: l.now}
 	l.mshrs[blk] = m
 	l.sendRequest(m, op)
 }
@@ -534,6 +546,7 @@ func (l *L1) fill(blk memsys.Addr, data []byte, st L1State, dirty bool, sendMD b
 		l.evict(evicted)
 	}
 	e.Payload = l1Line{state: st, dirty: dirty, data: data}
+	l.traceState(blk, L1Invalid, st)
 	l.stats.Inc(stats.CtrL1DFills)
 	if l.policy != nil {
 		l.policy.Allocate(blk, sendMD)
@@ -569,6 +582,7 @@ func (l *L1) evict(ev *memsys.Entry[l1Line]) {
 func (l *L1) evictFromHierarchy(ev *memsys.Entry[l1Line], shipMD bool) {
 	blk := ev.Tag
 	line := ev.Payload
+	l.traceState(blk, line.state, L1Invalid)
 	l.stats.Inc(stats.CtrL1DEvicts)
 	if !shipMD {
 		// The PAM entry was already communicated at L1 eviction; only the
@@ -673,6 +687,7 @@ func (l *L1) handle(m *network.Msg) {
 func (l *L1) finishTxn(m *mshr) {
 	delete(l.mshrs, m.addr)
 	l.cache.Unpin(m.addr)
+	l.missHist.Observe(l.now - m.start)
 	val := l.commitNow(m.access)
 	if m.access.Done != nil {
 		m.access.Done(val)
@@ -714,6 +729,7 @@ func (l *L1) onData(m *network.Msg) {
 	case mshrWaitData:
 		if tx.invAfterFill {
 			// Use-once: commit the load from the message payload, stay I.
+			l.missHist.Observe(l.now - tx.start)
 			l.commitFromBuffer(tx, m.Data)
 			delete(l.mshrs, m.Addr)
 			for _, dm := range tx.deferred {
@@ -827,6 +843,7 @@ func (l *L1) maybeCompleteUpgrade(tx *mshr) {
 	}
 	e.Payload.state = L1Modified
 	e.Payload.dirty = true
+	l.traceState(tx.addr, L1Shared, L1Modified)
 	l.finishTxn(tx)
 }
 
@@ -843,6 +860,7 @@ func (l *L1) onUpgradeNack(m *network.Msg) {
 		}
 		l.cache.Unpin(tx.addr)
 		l.cache.Invalidate(tx.addr)
+		l.traceState(tx.addr, L1Shared, L1Invalid)
 		if l.policy != nil {
 			l.policy.Drop(tx.addr)
 		}
@@ -943,6 +961,7 @@ func (l *L1) onFwdGetS(m *network.Msg) {
 	if e != nil && (e.Payload.state == L1Exclusive || e.Payload.state == L1Modified) {
 		l.send(&network.Msg{Op: network.OpData, Dst: m.Requestor, Addr: m.Addr, Data: cloneBytes(e.Payload.data), ReqMD: m.ReqMD})
 		l.send(&network.Msg{Op: network.OpDataToDir, Dst: m.Src, Addr: m.Addr, Data: cloneBytes(e.Payload.data), Requestor: l.node})
+		l.traceState(m.Addr, e.Payload.state, L1Shared)
 		e.Payload.state = L1Shared
 		e.Payload.dirty = false
 		if l.policy != nil {
@@ -1116,6 +1135,7 @@ func (l *L1) onTRPrv(m *network.Msg) {
 	case L1Prv:
 		panic("l1: TR_PRV for an already-PRV line")
 	}
+	l.traceState(m.Addr, line.state, L1Prv)
 	line.state = L1Prv
 	line.dirty = false
 	line.base = cloneBytes(line.data)
@@ -1201,6 +1221,7 @@ func (l *L1) onInvPrv(m *network.Msg) {
 			data := cloneBytes(e.Payload.data)
 			l.cache.Unpin(m.Addr)
 			l.cache.Invalidate(m.Addr)
+			l.traceState(m.Addr, L1Shared, L1Invalid)
 			if l.policy != nil {
 				l.policy.Drop(m.Addr)
 			}

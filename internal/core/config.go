@@ -13,7 +13,10 @@
 // coherence.L1Policy and coherence.DirPolicy interfaces.
 package core
 
-import "fscoherence/internal/coherence"
+import (
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/obs"
+)
 
 // Config holds the FSDetect/FSLite tunables (Table II defaults).
 type Config struct {
@@ -60,6 +63,10 @@ type Config struct {
 	// Now supplies the current simulation cycle for detection timestamps.
 	// Optional; defaults to a zero clock.
 	Now func() uint64
+
+	// Trace, when non-nil, receives a KindDetect / KindContended event for
+	// every detector classification (the unified observability layer).
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns the Table II FSDetect/FSLite configuration.

@@ -5,6 +5,7 @@ import (
 
 	"fscoherence/internal/coherence"
 	"fscoherence/internal/memsys"
+	"fscoherence/internal/obs"
 	"fscoherence/internal/stats"
 )
 
@@ -33,6 +34,7 @@ type Detection struct {
 // policy of §IV–§VI.
 type DirSide struct {
 	cfg   Config
+	slice int
 	sam   *SAM
 	meta  map[memsys.Addr]*dirMeta
 	stats *stats.Set
@@ -55,6 +57,7 @@ func NewDirSide(cfg Config, slice int, st *stats.Set) *DirSide {
 	cfg.validate()
 	d := &DirSide{
 		cfg:        cfg,
+		slice:      slice,
 		sam:        NewSAM(cfg, slice, st),
 		meta:       make(map[memsys.Addr]*dirMeta),
 		stats:      st,
@@ -164,6 +167,12 @@ func (d *DirSide) recordDetection(addr memsys.Addr) {
 	}
 	det.Episodes++
 	d.snapshotCores(blk, det)
+	if t := d.cfg.Trace; t != nil {
+		t.Emit(obs.Event{
+			Cycle: d.cfg.now(), Kind: obs.KindDetect, Core: -1, Slice: int16(d.slice),
+			Addr: blk, Arg: uint64(det.Episodes),
+		})
+	}
 }
 
 // snapshotCores unions the SAM entry's current writers/readers into the
@@ -219,6 +228,12 @@ func (d *DirSide) recordContended(addr memsys.Addr) {
 	}
 	det.Episodes++
 	d.snapshotCores(blk, det)
+	if t := d.cfg.Trace; t != nil {
+		t.Emit(obs.Event{
+			Cycle: d.cfg.now(), Kind: obs.KindContended, Core: -1, Slice: int16(d.slice),
+			Addr: blk, Arg: uint64(det.Episodes),
+		})
+	}
 }
 
 // ContendedLines returns the truly shared lines that crossed the contention

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"fscoherence/internal/obs"
 	"fscoherence/internal/stats"
 )
 
@@ -39,8 +40,13 @@ type Network struct {
 	// with separate virtual networks.
 	lastReady map[chanKey]uint64
 
-	// trace, when non-nil, receives every sent message (testing/debugging).
-	trace func(cycle uint64, m *Msg)
+	// tracer, when non-nil, receives a KindNetSend / KindNetRecv event for
+	// every message entering / leaving the interconnect. cores is the
+	// node-ID split point for mapping NodeID -> core / LLC-slice tracks.
+	tracer *obs.Tracer
+	cores  int
+
+	inflightNow int // messages currently queued (for the peak counter)
 }
 
 // New builds a network with the given number of nodes, per-traversal latency
@@ -56,8 +62,21 @@ func New(nodes int, latency uint64, blockSize int, st *stats.Set) *Network {
 	}
 }
 
-// SetTrace installs a hook invoked for every message sent.
-func (n *Network) SetTrace(fn func(cycle uint64, m *Msg)) { n.trace = fn }
+// SetTracer attaches the unified event tracer. cores is the number of core
+// nodes: NodeIDs below it trace onto core tracks, the rest onto LLC-slice
+// tracks. A nil tracer disables network tracing (the default).
+func (n *Network) SetTracer(t *obs.Tracer, cores int) {
+	n.tracer = t
+	n.cores = cores
+}
+
+// nodeTrack maps a NodeID to (core, slice) track coordinates for an event.
+func (n *Network) nodeTrack(id NodeID) (core, slice int16) {
+	if int(id) < n.cores {
+		return int16(id), -1
+	}
+	return -1, int16(int(id) - n.cores)
+}
 
 // SetCycle advances the network's notion of the current cycle. The simulation
 // engine calls this once per cycle before any component runs.
@@ -103,8 +122,15 @@ func (n *Network) SendAfter(m *Msg, extra uint64) {
 	n.stats.Inc("net.msg." + ClassOf(m.Op).String())
 	n.stats.Add("net.bytes."+ClassOf(m.Op).String(), uint64(SizeOf(m.Op, n.bs)))
 	n.stats.Inc("net.op." + m.Op.String())
-	if n.trace != nil {
-		n.trace(n.now, m)
+	n.inflightNow++
+	n.stats.Max(stats.CtrNetInflightPeak, uint64(n.inflightNow))
+	if t := n.tracer; t != nil {
+		core, slice := n.nodeTrack(m.Src)
+		t.Emit(obs.Event{
+			Cycle: n.now, Kind: obs.KindNetSend, Core: core, Slice: slice,
+			Addr: m.Addr, Name: m.Op.String(), Arg: m.Seq,
+			Arg2: obs.PackSrcDst(int(m.Src), int(m.Dst)),
+		})
 	}
 }
 
@@ -118,6 +144,15 @@ func (n *Network) Recv(dst NodeID) *Msg {
 	}
 	m := q[0].msg
 	n.inboxes[dst] = q[1:]
+	n.inflightNow--
+	if t := n.tracer; t != nil {
+		core, slice := n.nodeTrack(dst)
+		t.Emit(obs.Event{
+			Cycle: n.now, Kind: obs.KindNetRecv, Core: core, Slice: slice,
+			Addr: m.Addr, Name: m.Op.String(), Arg: m.Seq,
+			Arg2: obs.PackSrcDst(int(m.Src), int(m.Dst)),
+		})
+	}
 	return m
 }
 

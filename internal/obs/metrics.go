@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Metrics collects interval time series (periodic snapshots of the run's
+// stats.Set counters) and named histograms with deterministic power-of-two
+// bucket boundaries. A nil *Metrics is the disabled collector: Sample and
+// Hist are no-ops (Hist returns a nil *Histogram, whose Observe is itself a
+// no-op), so call sites pay one nil check when metrics are off.
+type Metrics struct {
+	// Interval is the cycle period between snapshots.
+	Interval uint64
+
+	samples []Sample
+	hists   map[string]*Histogram
+}
+
+// Sample is one interval snapshot of the run's counters.
+type Sample struct {
+	Cycle    uint64
+	Counters map[string]uint64
+}
+
+// NewMetrics returns a Metrics with the interval from cfg.
+func NewMetrics(cfg Config) *Metrics {
+	iv := cfg.MetricsInterval
+	if iv == 0 {
+		iv = DefaultMetricsInterval
+	}
+	return &Metrics{Interval: iv, hists: map[string]*Histogram{}}
+}
+
+// Sample appends a snapshot taken at the given cycle. The counters map is
+// retained (callers pass a fresh Snapshot). Safe on a nil receiver.
+func (m *Metrics) Sample(cycle uint64, counters map[string]uint64) {
+	if m == nil {
+		return
+	}
+	m.samples = append(m.samples, Sample{Cycle: cycle, Counters: counters})
+}
+
+// Samples returns the recorded snapshots, oldest-first.
+func (m *Metrics) Samples() []Sample {
+	if m == nil {
+		return nil
+	}
+	return m.samples
+}
+
+// Hist returns the named histogram, creating it on first use. Returns nil
+// on a nil receiver, which composes with Histogram's nil-receiver Observe.
+func (m *Metrics) Hist(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	h := m.hists[name]
+	if h == nil {
+		h = &Histogram{Name: name}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Histograms returns all histograms sorted by name.
+func (m *Metrics) Histograms() []*Histogram {
+	if m == nil {
+		return nil
+	}
+	names := make([]string, 0, len(m.hists))
+	for n := range m.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Histogram, len(names))
+	for i, n := range names {
+		out[i] = m.hists[n]
+	}
+	return out
+}
+
+// WriteCSV renders the time series as CSV — a cycle column followed by the
+// sorted union of every counter name seen in any sample — and then each
+// histogram as a comment-prefixed block (bucket lower bound, upper bound,
+// count). Output is fully deterministic.
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	union := map[string]bool{}
+	for _, s := range m.samples {
+		for k := range s.Counters {
+			union[k] = true
+		}
+	}
+	cols := make([]string, 0, len(union))
+	for k := range union {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+
+	var b strings.Builder
+	b.WriteString("cycle")
+	for _, c := range cols {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, s := range m.samples {
+		fmt.Fprintf(&b, "%d", s.Cycle)
+		for _, c := range cols {
+			fmt.Fprintf(&b, ",%d", s.Counters[c])
+		}
+		b.WriteByte('\n')
+	}
+	for _, h := range m.Histograms() {
+		fmt.Fprintf(&b, "# histogram %s: n=%d mean=%.2f min=%d max=%d\n",
+			h.Name, h.Count(), h.Mean(), h.Min(), h.Max())
+		b.WriteString("# lo,hi,count\n")
+		for _, bk := range h.Buckets() {
+			fmt.Fprintf(&b, "%d,%d,%d\n", bk.Lo, bk.Hi, bk.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Histogram counts uint64 observations in deterministic power-of-two
+// buckets: bucket 0 holds the value 0, and bucket i (i >= 1) holds values v
+// with 2^(i-1) <= v < 2^i, i.e. values whose bit length is i. Boundaries
+// are fixed by the value domain alone, so histograms from different runs
+// and hosts are directly comparable.
+type Histogram struct {
+	Name string
+
+	counts [65]uint64
+	total  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+// Observe records v. Safe on a nil receiver (the disabled path).
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.counts[bits.Len64(v)]++
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Min returns the smallest observation (0 with no observations).
+func (h *Histogram) Min() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 with no observations).
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Bucket is one non-empty histogram bucket covering [Lo, Hi].
+type Bucket struct {
+	Lo    uint64
+	Hi    uint64
+	Count uint64
+}
+
+// Buckets returns the non-empty buckets in increasing value order.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	var out []Bucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		var lo, hi uint64
+		if i == 0 {
+			lo, hi = 0, 0
+		} else {
+			lo = 1 << (i - 1)
+			hi = 1<<i - 1
+			if i == 64 {
+				hi = ^uint64(0)
+			}
+		}
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}

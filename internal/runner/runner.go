@@ -26,12 +26,22 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"fscoherence/internal/stats"
 )
 
 // Task computes one cell. The seed argument is derived deterministically
 // from the task key; tasks that need randomness must use it (and nothing
 // else) so reruns and memoization stay sound. Pure tasks may ignore it.
 type Task func(seed uint64) (any, error)
+
+// MetricSummarizer is implemented by task results that expose headline
+// metrics for sweep-level aggregation. The engine folds each executed cell's
+// summary into Report.Metrics exactly once (memo hits do not re-fold);
+// counters carrying the stats.PeakSuffix merge by maximum, all others sum.
+type MetricSummarizer interface {
+	MetricSummary() map[string]uint64
+}
 
 // Cell describes one finished task, for progress reporting.
 type Cell struct {
@@ -52,6 +62,10 @@ type Report struct {
 	// TaskTime is the summed wall-clock of executed tasks — with W workers
 	// the elapsed time approaches TaskTime / W.
 	TaskTime time.Duration
+
+	// Metrics aggregates the MetricSummary of every executed cell whose
+	// result implements MetricSummarizer (nil when no cell did).
+	Metrics map[string]uint64
 }
 
 // Engine is a memoizing bounded worker pool. Construct with New; the zero
@@ -67,6 +81,7 @@ type Engine struct {
 	executed  int
 	errors    int
 	taskTime  time.Duration
+	metrics   *stats.Set
 
 	wg sync.WaitGroup
 
@@ -191,6 +206,12 @@ func (e *Engine) run(ent *entry, fn Task) {
 	if ent.err != nil {
 		e.errors++
 	}
+	if ms, ok := ent.val.(MetricSummarizer); ok && ent.err == nil {
+		if e.metrics == nil {
+			e.metrics = stats.NewSet()
+		}
+		e.metrics.MergeMap(ms.MetricSummary())
+	}
 	e.mu.Unlock()
 
 	e.cbMu.Lock()
@@ -208,11 +229,15 @@ func (e *Engine) Wait() { e.wg.Wait() }
 func (e *Engine) Report() Report {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Report{
+	r := Report{
 		Submitted: e.submitted,
 		Executed:  e.executed,
 		MemoHits:  e.hits,
 		Errors:    e.errors,
 		TaskTime:  e.taskTime,
 	}
+	if e.metrics != nil {
+		r.Metrics = e.metrics.Snapshot()
+	}
+	return r
 }

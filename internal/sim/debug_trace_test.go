@@ -1,24 +1,32 @@
 package sim
 
 import (
-	"fmt"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"fscoherence/internal/coherence"
 	"fscoherence/internal/cpu"
-	"fscoherence/internal/memsys"
-	"fscoherence/internal/network"
+	"fscoherence/internal/obs"
 )
 
-// TestDebugLockTrace is a development aid: it reproduces the locked-counter
-// oracle failure on a minimal configuration with message tracing. Skipped
-// unless -run selects it explicitly with -v.
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// TestDebugLockTrace runs a locked-counter workload with the unified tracer
+// filtered to the lock block and compares the rendered event stream against a
+// checked-in golden file. The simulator is deterministic, so the trace is
+// byte-stable; any protocol change that alters message ordering or commit
+// timing around a contended lock shows up as a golden diff. Regenerate with
+// go test ./internal/sim -run TestDebugLockTrace -update.
 func TestDebugLockTrace(t *testing.T) {
-	if !testing.Verbose() {
-		t.Skip("debug tracing test; run with -v -run TestDebugLockTrace")
-	}
 	cfg := testConfig(coherence.Baseline)
 	lock, counter := addr(0, 0), addr(1, 0)
+	lockBlk := lock.BlockAlign(blk)
+	cfg.Obs = obs.New(obs.Config{
+		Filter: obs.Filter{Addr: lockBlk, HasAddr: true, BlockMask: uint64(blk - 1)},
+	})
 	const threads, iters = 3, 4
 	mk := func(id int) cpu.ThreadFunc {
 		return func(c *cpu.Ctx) {
@@ -34,25 +42,51 @@ func TestDebugLockTrace(t *testing.T) {
 	for i := 0; i < threads; i++ {
 		ths = append(ths, mk(i))
 	}
-	s := New(cfg, Workload{Name: "dbg", Threads: ths})
-	lockBlk := lock.BlockAlign(64)
-	s.net.SetTrace(func(cycle uint64, m *network.Msg) {
-		if m.Addr.BlockAlign(64) == lockBlk {
-			fmt.Printf("C%06d msg %s\n", cycle, m)
+	res := mustRun(t, cfg, Workload{Name: "dbg", Threads: ths})
+	if res.Cycles == 0 {
+		t.Fatal("no cycles simulated")
+	}
+
+	events := cfg.Obs.Tracer.Events()
+	if len(events) == 0 {
+		t.Fatal("tracer recorded no events for the lock block")
+	}
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "lock_trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
 		}
-	})
-	s.SetCommitTrace(func(cycle uint64, core int, kind string, a memsys.Addr, v []byte) {
-		if a.BlockAlign(64) == lockBlk {
-			fmt.Printf("C%06d commit core%d %s %v = %v\n", cycle, core, kind, a, v[0])
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
 		}
-	})
-	res, err := s.Run("dbg")
+		t.Logf("wrote %s (%d events)", golden, len(events))
+		return
+	}
+	want, err := os.ReadFile(golden)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
 	}
-	for _, v := range res.OracleViolations {
-		t.Errorf("oracle: %s", v)
+	if got != string(want) {
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		line := 0
+		for line < len(gl) && line < len(wl) && gl[line] == wl[line] {
+			line++
+		}
+		g, w := "<EOF>", "<EOF>"
+		if line < len(gl) {
+			g = gl[line]
+		}
+		if line < len(wl) {
+			w = wl[line]
+		}
+		t.Fatalf("trace diverges from golden at line %d:\n  got:  %s\n  want: %s\n(%d got / %d want lines; regenerate with -update if intended)",
+			line+1, g, w, len(gl), len(wl))
 	}
-	_ = memsys.Addr(0)
-	_ = counter
 }

@@ -13,6 +13,7 @@ import (
 	"fscoherence/internal/cpu"
 	"fscoherence/internal/memsys"
 	"fscoherence/internal/network"
+	"fscoherence/internal/obs"
 	"fscoherence/internal/stats"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 
 	// MaxCycles aborts the run as deadlocked when exceeded (0 = 500M).
 	MaxCycles uint64
+
+	// Obs attaches the unified observability layer (event tracing and
+	// interval metrics). Nil disables it entirely at zero per-event cost.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns a Table II system in the given protocol mode with
@@ -102,6 +107,16 @@ type System struct {
 	dirPolicies []*core.DirSide
 	swmrBad     []string
 
+	// tracer / metrics are the unified observability attachments (nil when
+	// cfg.Obs is nil or lacks the corresponding half).
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+
+	// observerInstalled records whether the commit observer is wired into
+	// the L1s (done at construction when the oracle or tracer needs it, or
+	// lazily by SetCommitTrace).
+	observerInstalled bool
+
 	// commitTrace, when set (tests), receives every architectural commit.
 	commitTrace func(cycle uint64, core int, kind string, a memsys.Addr, v []byte)
 
@@ -109,37 +124,72 @@ type System struct {
 	cycleHook func(cycle uint64)
 }
 
-// SetCommitTrace installs a commit hook (testing/debugging).
+// SetCommitTrace installs a commit hook (testing/debugging). The hook is fed
+// by the same commit observer that drives KindCommit trace events; if the
+// observer was not needed at construction it is installed now.
 func (s *System) SetCommitTrace(fn func(cycle uint64, core int, kind string, a memsys.Addr, v []byte)) {
 	s.commitTrace = fn
+	s.ensureObserver()
+}
+
+// ensureObserver wires the commit observer into every L1 if absent.
+func (s *System) ensureObserver() {
+	if s.observerInstalled {
+		return
+	}
+	s.observerInstalled = true
+	ob := observer{s.oracle, s}
+	for _, l1 := range s.l1s {
+		l1.SetObserver(ob)
+	}
 }
 
 // SetCycleHook installs a function invoked at the start of every cycle
 // (testing: fault injection, external-socket accesses, live inspection).
 func (s *System) SetCycleHook(fn func(cycle uint64)) { s.cycleHook = fn }
 
-// observer adapts the oracle to the coherence.Observer interface.
+// observer adapts the oracle and the commit trace to the coherence.Observer
+// interface. The oracle may be nil (trace-only observer).
 type observer struct {
 	o *memsys.Oracle
 	s *System
 }
 
 func (ob observer) OnLoadCommit(c int, a memsys.Addr, v []byte) {
-	ob.o.CheckLoad(a, v, ob.s.cycle, fmt.Sprintf("cycle %d core %d load", ob.s.cycle, c))
-	if ob.s.commitTrace != nil {
-		ob.s.commitTrace(ob.s.cycle, c, "load", a, v)
+	if ob.o != nil {
+		ob.o.CheckLoad(a, v, ob.s.cycle, fmt.Sprintf("cycle %d core %d load", ob.s.cycle, c))
 	}
+	ob.s.commit(c, "load", a, v)
 }
 func (ob observer) OnStoreCommit(c int, a memsys.Addr, v []byte) {
-	ob.o.CommitStore(a, v, ob.s.cycle)
-	if ob.s.commitTrace != nil {
-		ob.s.commitTrace(ob.s.cycle, c, "store", a, v)
+	if ob.o != nil {
+		ob.o.CommitStore(a, v, ob.s.cycle)
 	}
+	ob.s.commit(c, "store", a, v)
 }
 func (ob observer) OnReduceCommit(c int, a memsys.Addr, delta []byte) {
-	ob.o.CommitReduce(a, delta, ob.s.cycle)
-	if ob.s.commitTrace != nil {
-		ob.s.commitTrace(ob.s.cycle, c, "reduce", a, delta)
+	if ob.o != nil {
+		ob.o.CommitReduce(a, delta, ob.s.cycle)
+	}
+	ob.s.commit(c, "reduce", a, delta)
+}
+
+// commit routes one architectural commit to the tracer and the test hook.
+// kind is one of the static strings "load"/"store"/"reduce", so building the
+// event never allocates.
+func (s *System) commit(c int, kind string, a memsys.Addr, v []byte) {
+	if t := s.tracer; t != nil {
+		var val uint64
+		for i := 0; i < len(v) && i < 8; i++ {
+			val |= uint64(v[i]) << (8 * i)
+		}
+		t.Emit(obs.Event{
+			Cycle: s.cycle, Kind: obs.KindCommit, Core: int16(c), Slice: -1,
+			Addr: a, Name: kind, Arg: val, Arg2: uint64(len(v)),
+		})
+	}
+	if s.commitTrace != nil {
+		s.commitTrace(s.cycle, c, kind, a, v)
 	}
 }
 
@@ -148,17 +198,18 @@ func New(cfg Config, wl Workload) *System {
 	p := cfg.Params
 	st := stats.NewSet()
 	s := &System{
-		cfg:   cfg,
-		stats: st,
-		net:   network.New(p.Nodes(), p.NetLatency, p.BlockSize, st),
-		mem:   memsys.NewMemory(p.BlockSize),
-		quit:  make(chan struct{}),
+		cfg:     cfg,
+		stats:   st,
+		net:     network.New(p.Nodes(), p.NetLatency, p.BlockSize, st),
+		mem:     memsys.NewMemory(p.BlockSize),
+		quit:    make(chan struct{}),
+		tracer:  cfg.Obs.GetTracer(),
+		metrics: cfg.Obs.GetMetrics(),
 	}
+	s.net.SetTracer(s.tracer, p.Cores)
 
-	var obs coherence.Observer
 	if cfg.CheckOracle {
 		s.oracle = memsys.NewOracle(p.BlockSize)
-		obs = observer{s.oracle, s}
 	}
 
 	cc := cfg.Core
@@ -166,17 +217,22 @@ func New(cfg Config, wl Workload) *System {
 	cc.BlockSize = p.BlockSize
 	cc.Mode = cfg.Mode
 	cc.Now = func() uint64 { return s.cycle }
+	cc.Trace = s.tracer
 
 	for i := 0; i < p.Cores; i++ {
 		var pol coherence.L1Policy
 		if cfg.Mode != coherence.Baseline {
 			pol = core.NewPAM(cc, i, st)
 		}
-		l1 := coherence.NewL1(i, p, cfg.Mode, s.net, pol, st, obs)
+		l1 := coherence.NewL1(i, p, cfg.Mode, s.net, pol, st, nil)
 		if cfg.MSHRs > 1 {
 			l1.SetMaxMSHRs(cfg.MSHRs)
 		}
+		l1.SetObs(cfg.Obs)
 		s.l1s = append(s.l1s, l1)
+	}
+	if cfg.CheckOracle || s.tracer != nil {
+		s.ensureObserver()
 	}
 	for i := 0; i < p.Slices; i++ {
 		var pol coherence.DirPolicy
@@ -188,7 +244,9 @@ func New(cfg Config, wl Workload) *System {
 			s.dirPolicies = append(s.dirPolicies, ds)
 			pol = ds
 		}
-		s.dirs = append(s.dirs, coherence.NewDir(i, p, cfg.Mode, s.net, s.mem, pol, st))
+		dir := coherence.NewDir(i, p, cfg.Mode, s.net, s.mem, pol, st)
+		dir.SetObs(cfg.Obs)
+		s.dirs = append(s.dirs, dir)
 	}
 	for i := 0; i < p.Cores; i++ {
 		var fn cpu.ThreadFunc
@@ -265,11 +323,23 @@ func (s *System) Run(name string) (*Result, error) {
 		if s.cfg.CheckSWMR && s.cycle%s.cfg.SWMRPeriod == 0 {
 			s.checkSWMR()
 		}
+		if m := s.metrics; m != nil && s.cycle%m.Interval == 0 {
+			m.Sample(s.cycle, s.stats.Snapshot())
+		}
 		if s.done() {
 			break
 		}
 	}
 	s.stats.Set(stats.CtrCycles, s.cycle)
+	// Close out observability: privatized episodes still open at the end of
+	// the run emit their terminate event, then a final metrics sample
+	// captures the run's closing counter values.
+	for _, d := range s.dirs {
+		d.FinalizeObs(s.cycle)
+	}
+	if m := s.metrics; m != nil {
+		m.Sample(s.cycle, s.stats.Snapshot())
+	}
 	res := &Result{
 		Name:   name,
 		Mode:   s.cfg.Mode,
@@ -340,6 +410,9 @@ func (s *System) checkSWMR() {
 		if c.em > 1 || (c.em > 0 && (c.sh > 0 || c.prv > 0)) {
 			s.swmrBad = append(s.swmrBad,
 				fmt.Sprintf("cycle %d block %v: EM=%d S=%d PRV=%d", s.cycle, a, c.em, c.sh, c.prv))
+			if t := s.tracer; t != nil {
+				t.Emit(obs.Event{Cycle: s.cycle, Kind: obs.KindOracle, Core: -1, Slice: -1, Addr: a, Name: "swmr"})
+			}
 		}
 	}
 }

@@ -70,10 +70,32 @@ func (s *Set) Snapshot() map[string]uint64 {
 	return out
 }
 
-// Merge adds every counter of other into s.
+// PeakSuffix marks counters with max semantics: values written via Max
+// (peaks, high-water marks) rather than accumulated. Merge takes the
+// maximum for such counters instead of summing, since summing two peak
+// observations is meaningless.
+const PeakSuffix = ".peak"
+
+// IsPeak reports whether the counter name follows the peak (max-semantics)
+// naming convention.
+func IsPeak(name string) bool { return strings.HasSuffix(name, PeakSuffix) }
+
+// Merge folds every counter of other into s: counters accumulate, except
+// peak counters (names ending in PeakSuffix), which take the maximum.
 func (s *Set) Merge(other *Set) {
-	for k, v := range other.counters {
-		s.counters[k] += v
+	s.MergeMap(other.counters)
+}
+
+// MergeMap folds a counter map into s under the same rules as Merge.
+func (s *Set) MergeMap(counters map[string]uint64) {
+	for k, v := range counters {
+		if IsPeak(k) {
+			if v > s.counters[k] {
+				s.counters[k] = v
+			}
+		} else {
+			s.counters[k] += v
+		}
 	}
 }
 
@@ -140,6 +162,10 @@ const (
 	CtrNetMessages = "net.messages"
 	CtrNetBytes    = "net.bytes"
 
+	// High-water marks (max semantics on Merge; see PeakSuffix).
+	CtrNetInflightPeak = "net.inflight" + PeakSuffix
+	CtrDirPendqPeak    = "dir.pendq" + PeakSuffix
+
 	// FSDetect / FSLite counters.
 	CtrFSDetected        = "fs.lines_detected"
 	CtrFSPrivatized      = "fs.privatizations"
@@ -172,3 +198,67 @@ const (
 	// Simulation-level.
 	CtrCycles = "sim.cycles"
 )
+
+// Counter describes one canonical counter for documentation and tooling.
+type Counter struct {
+	Name string
+	Desc string
+}
+
+// Canonical returns every canonical counter with a one-line description,
+// sorted by name. TestCanonicalCoversConstants keeps this list in lockstep
+// with the Ctr* constants above; the fsrun -counters flag renders it as the
+// markdown table embedded in the docs.
+func Canonical() []Counter {
+	out := []Counter{
+		{CtrL1DAccesses, "L1D demand accesses (loads + stores + atomics)"},
+		{CtrL1DHits, "L1D accesses served without a coherence transaction"},
+		{CtrL1DMisses, "L1D accesses that started a coherence transaction"},
+		{CtrL1DFills, "blocks installed into an L1D"},
+		{CtrL1DEvicts, "blocks evicted from an L1D"},
+		{CtrL1DWbDirty, "dirty L1D evictions written back"},
+		{CtrLLCAccesses, "LLC slice lookups"},
+		{CtrLLCHits, "LLC lookups hitting the data array"},
+		{CtrLLCMisses, "LLC lookups missing to memory"},
+		{CtrLLCFills, "blocks installed into the LLC"},
+		{CtrLLCEvicts, "blocks evicted from the LLC"},
+		{CtrDirInval, "invalidations issued by the directory"},
+		{CtrDirInterv, "owner interventions (forwarded requests)"},
+		{CtrDirFetchReq, "owner data fetches for recall/writeback"},
+		{CtrDirPendingQ, "requests queued behind a busy directory line"},
+		{CtrMemReads, "main-memory read accesses"},
+		{CtrMemWrites, "main-memory write accesses"},
+		{CtrNetMessages, "interconnect messages sent"},
+		{CtrNetBytes, "interconnect payload bytes sent"},
+		{CtrNetInflightPeak, "peak messages simultaneously in flight (max on merge)"},
+		{CtrDirPendqPeak, "peak depth of any directory pending queue (max on merge)"},
+		{CtrFSDetected, "lines FSDetect classified as falsely shared"},
+		{CtrFSPrivatized, "PRV episodes begun (lines privatized)"},
+		{CtrFSPrivAborted, "privatization attempts aborted mid-flight"},
+		{CtrFSTerminations, "PRV episodes terminated (all causes)"},
+		{CtrFSTermConflict, "PRV terminations due to conflicting access"},
+		{CtrFSTermEviction, "PRV terminations due to LLC eviction"},
+		{CtrFSTermSAMEvict, "PRV terminations due to SAM replacement"},
+		{CtrFSTermExternal, "PRV terminations due to external (non-core) access"},
+		{CtrFSChkRequests, "GetCHK/GetXCHK byte-check requests"},
+		{CtrFSMetadataMsgs, "metadata-class messages (PAM/SAM traffic)"},
+		{CtrFSPhantomMsgs, "phantom messages (would-be misses under baseline)"},
+		{CtrFSTrueSharing, "lines marked truly shared by the detector"},
+		{CtrFSMetadataResets, "periodic PAM/SAM metadata resets"},
+		{CtrFSHysteresisBlock, "re-privatizations blocked by hysteresis"},
+		{CtrFSContended, "lines classified as contended truly-shared"},
+		{CtrSAMReplacements, "SAM entries evicted while valid"},
+		{CtrSAMLookups, "SAM table lookups"},
+		{CtrPAMUpdates, "PAM metadata updates"},
+		{CtrOpsCommitted, "instructions committed (all cores)"},
+		{CtrLoadsCommitted, "loads committed"},
+		{CtrStoresCommit, "stores committed"},
+		{CtrAtomicsCommit, "atomic RMW operations committed"},
+		{CtrComputeCycles, "cycles cores spent in compute (not stalled)"},
+		{CtrStallCycles, "cycles cores spent stalled on memory"},
+		{CtrCommitStalls, "OOO commit-stage stalls"},
+		{CtrCycles, "simulated cycles until workload completion"},
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -58,6 +58,40 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// Regression: peak counters (written via Max) used to be summed on Merge,
+// producing nonsense high-water marks when aggregating across runs.
+func TestMergePeakCountersTakeMax(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	a.Max(CtrNetInflightPeak, 7)
+	b.Max(CtrNetInflightPeak, 5)
+	b.Add(CtrNetMessages, 100)
+	a.Merge(b)
+	if got := a.Get(CtrNetInflightPeak); got != 7 {
+		t.Fatalf("peak after merge = %d, want max(7,5) = 7", got)
+	}
+	a.Merge(b) // merging again must still not inflate the peak
+	if got := a.Get(CtrNetInflightPeak); got != 7 {
+		t.Fatalf("peak after second merge = %d, want 7", got)
+	}
+	if got := a.Get(CtrNetMessages); got != 200 {
+		t.Fatalf("sum counter after two merges = %d, want 200", got)
+	}
+
+	// The other direction: the incoming peak wins when larger.
+	c := NewSet()
+	c.Max(CtrDirPendqPeak, 2)
+	d := NewSet()
+	d.Max(CtrDirPendqPeak, 9)
+	c.Merge(d)
+	if got := c.Get(CtrDirPendqPeak); got != 9 {
+		t.Fatalf("peak after merge = %d, want 9", got)
+	}
+
+	if !IsPeak(CtrNetInflightPeak) || IsPeak(CtrNetMessages) {
+		t.Fatal("IsPeak misclassifies counters")
+	}
+}
+
 func TestSumPrefixAndRatio(t *testing.T) {
 	s := NewSet()
 	s.Add("net.msg.req", 2)

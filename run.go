@@ -6,6 +6,7 @@ import (
 	"fscoherence/internal/coherence"
 	"fscoherence/internal/core"
 	"fscoherence/internal/energy"
+	"fscoherence/internal/obs"
 	"fscoherence/internal/sim"
 	"fscoherence/internal/stats"
 	"fscoherence/internal/workload"
@@ -33,6 +34,10 @@ const (
 
 // Detection re-exports the FSDetect report entry.
 type Detection = core.Detection
+
+// DefaultBlockSize returns the simulated cache-line size in bytes (Table II),
+// the granularity at which trace filters match addresses.
+func DefaultBlockSize() int { return coherence.DefaultParams().BlockSize }
 
 // Options configures a single run. The zero value runs the baseline
 // protocol on the default layout at scale 1 with the Table II system.
@@ -79,6 +84,12 @@ type Options struct {
 
 	// MaxCycles bounds the run (0 = default guard).
 	MaxCycles uint64
+
+	// Obs attaches the unified observability layer (event tracing and
+	// interval metrics) to the run. Options stays comparable — the pointer
+	// participates in Runner memo keys, so two cells tracing into distinct
+	// attachments are distinct cells.
+	Obs *obs.Obs
 }
 
 // Result summarizes one run.
@@ -106,6 +117,33 @@ type Result struct {
 
 	// Violations holds oracle/SWMR failures when Verify was set.
 	Violations []string
+
+	// Obs is the observability attachment the run wrote into (copied from
+	// Options.Obs; nil when observability was off).
+	Obs *obs.Obs
+}
+
+// MetricSummary implements runner.MetricSummarizer: headline per-run metrics
+// the sweep engine folds into its Report. Peak-suffixed entries merge by max
+// across cells, the rest sum.
+func (r *Result) MetricSummary() map[string]uint64 {
+	m := map[string]uint64{
+		"runs":                          1,
+		"cycles":                        r.Cycles,
+		"detections":                    uint64(len(r.Detections)),
+		"contended":                     uint64(len(r.Contended)),
+		"cycles.max" + stats.PeakSuffix: r.Cycles,
+	}
+	if t := r.Obs.GetTracer(); t != nil {
+		m["trace.events"] = t.Total()
+		m["trace.dropped"] = t.Dropped()
+	}
+	for _, h := range r.Obs.GetMetrics().Histograms() {
+		m["hist."+h.Name+".n"] = h.Count()
+		m["hist."+h.Name+".sum"] = h.Sum()
+		m["hist."+h.Name+".max"+stats.PeakSuffix] = h.Max()
+	}
+	return m
 }
 
 // Speedup returns base.Cycles / r.Cycles: how much faster r is than base.
@@ -152,6 +190,7 @@ func buildConfig(opt Options) sim.Config {
 	if opt.MaxCycles > 0 {
 		cfg.MaxCycles = opt.MaxCycles
 	}
+	cfg.Obs = opt.Obs
 	return cfg
 }
 
@@ -190,6 +229,7 @@ func Run(bench string, opt Options) (*Result, error) {
 		MissFraction: res.Stats.Ratio(stats.CtrL1DMisses, stats.CtrL1DAccesses),
 		Detections:   res.Detections,
 		Contended:    res.Contended,
+		Obs:          opt.Obs,
 	}
 	out.Energy = energy.Default().Compute(res.Stats, opt.Protocol != Baseline).Total()
 	out.Violations = append(out.Violations, res.OracleViolations...)

@@ -1,0 +1,120 @@
+package fscoherence
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"fscoherence/internal/obs"
+)
+
+// chromeEvent mirrors the fields of the Chrome trace-event format a viewer
+// requires; unknown fields are rejected so schema drift is caught.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   uint64          `json:"ts"`
+	Dur  uint64          `json:"dur"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	S    string          `json:"s"`
+	Cat  string          `json:"cat"`
+	Args json.RawMessage `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// traceLR runs LR under FSLite on a jobs-wide engine (alongside the two
+// other protocol cells, as fsrun -compare would) with a fresh observability
+// attachment, and returns the exported Chrome trace JSON.
+func traceLR(t *testing.T, jobs int) []byte {
+	t.Helper()
+	o := obs.New(obs.Config{})
+	eng := NewRunner(jobs)
+	eng.Submit("LR", Options{Protocol: Baseline, Scale: 0.5})
+	eng.Submit("LR", Options{Protocol: FSDetect, Scale: 0.5})
+	f := eng.Submit("LR", Options{Protocol: FSLite, Scale: 0.5, Obs: o})
+	if _, err := f.Result(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Wait()
+	if o.Tracer.Dropped() > 0 {
+		t.Logf("ring buffer dropped %d events (capacity %d)", o.Tracer.Dropped(), obs.DefaultTraceCapacity)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, o.Tracer.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChromeTraceAcceptance is the PR's acceptance criterion: tracing LR
+// under FSLite emits valid Chrome trace-event JSON (parseable, with the
+// ph/ts/pid/tid fields a viewer requires) that contains at least one PRV
+// episode begin/terminate pair, and the bytes are identical whether the
+// sweep ran on 1 or 8 workers.
+func TestChromeTraceAcceptance(t *testing.T) {
+	blob := traceLR(t, 1)
+
+	var tr chromeTrace
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tr); err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace contains no events")
+	}
+
+	begins := map[string]bool{} // prv.begin addresses
+	pairs := 0
+	for i, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "process_name" && e.Name != "thread_name" {
+				t.Errorf("event %d: unexpected metadata %q", i, e.Name)
+			}
+			continue
+		case "i":
+			if e.S != "t" {
+				t.Errorf("event %d (%s): instant scope %q, want \"t\"", i, e.Name, e.S)
+			}
+		case "X":
+		default:
+			t.Errorf("event %d (%s): unexpected phase %q", i, e.Name, e.Ph)
+		}
+		if e.Name == "" {
+			t.Errorf("event %d: empty name", i)
+		}
+		if e.Pid < 0 || e.Pid > 2 {
+			t.Errorf("event %d (%s): pid %d outside the cores/llc/sim processes", i, e.Name, e.Pid)
+		}
+		if e.Tid < 0 {
+			t.Errorf("event %d (%s): negative tid %d", i, e.Name, e.Tid)
+		}
+
+		var args map[string]any
+		if err := json.Unmarshal(e.Args, &args); err != nil {
+			t.Fatalf("event %d (%s): bad args: %v", i, e.Name, err)
+		}
+		addr, _ := args["addr"].(string)
+		switch e.Name {
+		case "prv.begin":
+			begins[addr] = true
+		case "prv.terminate":
+			if begins[addr] {
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Errorf("trace has no PRV begin/terminate pair (begins seen: %d)", len(begins))
+	}
+
+	if blob8 := traceLR(t, 8); !bytes.Equal(blob, blob8) {
+		t.Error("trace bytes differ between -j 1 and -j 8 sweeps")
+	}
+}
