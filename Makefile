@@ -1,23 +1,24 @@
 # Tier-1 verification for the fscoherence reproduction.
 #
-#   make ci      — the full tier-1 gate: formatting, vet, build, tests, and
-#                  the race detector over every package (the parallel
-#                  experiment engine and the goroutine-per-thread simulator
-#                  both run under -race; see sweep_test.go and
-#                  internal/runner).
+#   make ci      — the full tier-1 gate: formatting, vet, build, tests, the
+#                  race detector over every package, the cross-engine
+#                  equivalence suite (skip vs naive must be byte-identical),
+#                  and a zero-alloc smoke run of the network hot path.
 #   make check   — static gate only: gofmt -l must be clean, then go vet and
 #                  the unit tests.
 #   make test    — build + unit tests only (fast inner loop).
 #   make race    — race-detector pass only.
-#   make bench   — regenerate the full evaluation via go test -bench.
+#   make equiv   — cross-engine equivalence tests only.
+#   make bench   — run the Benchmark* suite (-benchmem, one iteration each)
+#                  and capture the parsed results into BENCH_3.json.
 #   make sweep   — regenerate the paper's tables with the parallel engine.
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci check fmt test race bench sweep
+.PHONY: ci check fmt test race equiv allocsmoke bench sweep
 
-ci: check race
+ci: check race equiv allocsmoke
 
 check: fmt test
 
@@ -38,8 +39,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Cross-engine determinism: every workload x protocol under both engines,
+# plus golden-trace and figure-table byte-equality (engine_test.go).
+equiv:
+	$(GO) test -run 'TestEngine' -count=1 .
+
+# The steady-state network round trip must not allocate; the benchmark's
+# allocs/op plus TestSendRecvDoesNotAllocate gate it.
+allocsmoke:
+	$(GO) test -run 'TestSendRecvDoesNotAllocate' -bench 'BenchmarkNetSendRecv' -benchmem -benchtime=1x -count=1 ./internal/network/
+
 bench:
-	$(GO) test -bench . -benchmem -run '^$$'
+	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' ./... | $(GO) run ./cmd/benchjson -out BENCH_3.json
 
 sweep:
 	$(GO) run ./cmd/fsexp -all

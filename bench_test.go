@@ -52,6 +52,19 @@ func BenchmarkFig14aSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkFig14aSpeedupNaiveEngine reruns the Fig 14a experiment under the
+// naive cycle-stepped loop; the ns/op ratio to BenchmarkFig14aSpeedup (which
+// uses the default quiescence-skipping engine) is the engine's wall-clock
+// speedup. Results are byte-identical (TestEngineEquivalence).
+func BenchmarkFig14aSpeedupNaiveEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := serialRunner()
+		r.SetEngine("naive")
+		t := Fig14Speedup(r, benchScale)
+		reportGeo(b, t, "fslite", "fslite-geomean-speedup")
+	}
+}
+
 func BenchmarkFig14bEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t := Fig14Energy(serialRunner(), benchScale)

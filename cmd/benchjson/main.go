@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench` output read from stdin into a
+// JSON snapshot (see `make bench`, which writes BENCH_3.json). Every
+// benchmark line is captured with its full metric set — ns/op, B/op,
+// allocs/op and any custom ReportMetric series (the figure benchmarks emit
+// their headline numbers, e.g. fslite-geomean-speedup, this way) — so future
+// changes can diff both wall-clock and modelled results against a checked-in
+// baseline.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' ./... | benchjson -out BENCH_3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the file layout of BENCH_3.json.
+type Snapshot struct {
+	Note       string  `json:"note"`
+	GoVersion  string  `json:"go"`
+	GOOS       string  `json:"goos,omitempty"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	note := flag.String("note", "captured by make bench (-benchtime=1x)", "free-form provenance note")
+	flag.Parse()
+
+	snap := Snapshot{Note: *note, GoVersion: runtime.Version()}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // passthrough so the run stays visible
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "goos:":
+			snap.GOOS = strings.Join(fields[1:], " ")
+			continue
+		case "goarch:":
+			snap.GOARCH = strings.Join(fields[1:], " ")
+			continue
+		case "cpu:":
+			snap.CPU = strings.Join(fields[1:], " ")
+			continue
+		case "pkg:":
+			pkg = strings.Join(fields[1:], " ")
+			continue
+		}
+		if !strings.HasPrefix(fields[0], "Benchmark") || len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // PASS/FAIL summaries and other non-result lines
+		}
+		b := Bench{Name: fields[0], Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // malformed tail; keep what parsed
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found on stdin"))
+	}
+
+	buf, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

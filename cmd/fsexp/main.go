@@ -17,6 +17,8 @@
 //	fsexp -exp fig17      # one experiment
 //	fsexp -all -markdown  # emit EXPERIMENTS.md-style markdown
 //	fsexp -all -v         # per-cell timing on stderr
+//	fsexp -engine naive   # cycle-stepped reference engine (byte-identical)
+//	fsexp -cpuprofile cpu.out -memprofile mem.out  # pprof the sweep
 package main
 
 import (
@@ -30,11 +32,13 @@ import (
 
 	"fscoherence"
 	"fscoherence/internal/obs"
+	"fscoherence/internal/profiling"
 )
 
 func main() {
 	var (
 		all      = flag.Bool("all", false, "run every experiment")
+		engine   = flag.String("engine", "skip", "simulation engine: skip (quiescence-skipping, default) | naive (cycle-stepped reference)")
 		exp      = flag.String("exp", "", "run a single experiment by ID (fig2, fig13, ...)")
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
 		jobs     = flag.Int("j", runtime.NumCPU(), "max concurrent simulations (1 = serial)")
@@ -51,7 +55,17 @@ func main() {
 		trBench  = flag.String("trace-bench", "LR", "benchmark for the instrumented cell")
 		trProto  = flag.String("trace-protocol", "fslite", "protocol for the instrumented cell")
 	)
+	prof := profiling.AddFlags()
 	flag.Parse()
+	if *engine != "skip" && *engine != "naive" {
+		fmt.Fprintf(os.Stderr, "fsexp: unknown -engine %q (want skip or naive)\n", *engine)
+		os.Exit(1)
+	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "fsexp:", err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	if *listExp {
 		for _, e := range fscoherence.Experiments {
@@ -83,6 +97,7 @@ func main() {
 	// One engine for the whole invocation: cells shared between tables
 	// (e.g. every Baseline reference run) are simulated exactly once.
 	eng := fscoherence.NewRunner(*jobs)
+	eng.SetEngine(*engine)
 	if *verbose {
 		eng.SetProgress(func(bench string, opt fscoherence.Options, d time.Duration, err error) {
 			status := ""
@@ -146,6 +161,10 @@ func main() {
 	if m := rep.Metrics; len(m) > 0 {
 		fmt.Fprintf(os.Stderr, "[sweep metrics: %d runs, %d total cycles (max cell %d), %d detections, %d contended lines]\n",
 			m["runs"], m["cycles"], m["cycles.max.peak"], m["detections"], m["contended"])
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "fsexp:", err)
+		os.Exit(1)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "fsexp: %d experiment(s) failed\n", failed)

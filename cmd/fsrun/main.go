@@ -17,6 +17,8 @@
 //	fsrun -bench LR -mode fslite -trace out.json -metrics out.csv
 //	fsrun -bench RC -compare
 //	fsrun -bench RC -compare -j 3
+//	fsrun -bench RC -engine naive               # cycle-stepped reference
+//	fsrun -bench RC -cpuprofile cpu.out         # pprof the run
 //	fsrun -list
 //	fsrun -counters
 package main
@@ -30,6 +32,7 @@ import (
 
 	"fscoherence"
 	"fscoherence/internal/obs"
+	"fscoherence/internal/profiling"
 	"fscoherence/internal/stats"
 )
 
@@ -49,11 +52,20 @@ func main() {
 		metrics  = flag.String("metrics", "", "write interval metrics CSV to this file")
 		filter   = flag.String("trace-filter", "", "restrict traced events: addr=0x...,core=N,class=net|l1|dir|detect|prv|commit|oracle")
 		counters = flag.Bool("counters", false, "print the canonical counter-name table and exit")
+		engine   = flag.String("engine", "skip", "simulation engine: skip (quiescence-skipping, default) | naive (cycle-stepped reference)")
 	)
+	prof := profiling.AddFlags()
 	flag.Parse()
 	if *mode != "" {
 		*protocol = *mode
 	}
+	if *engine != "skip" && *engine != "naive" {
+		fatal(fmt.Errorf("unknown -engine %q (want skip or naive)", *engine))
+	}
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	if *counters {
 		fmt.Printf("| %-24s | %s |\n|%s|%s|\n", "Counter", "Meaning", strings.Repeat("-", 26), strings.Repeat("-", 60))
@@ -95,6 +107,7 @@ func main() {
 			return nil
 		}
 		eng := fscoherence.NewRunner(*jobs)
+		eng.SetEngine(*engine)
 		baseF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.Baseline)})
 		detF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.FSDetect)})
 		fslF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSLite, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.FSLite)})
@@ -111,7 +124,7 @@ func main() {
 		return
 	}
 
-	r := run(*bench, fscoherence.Options{Protocol: p, Variant: v, Scale: *scale, Verify: *verify, Obs: o})
+	r := run(*bench, fscoherence.Options{Protocol: p, Variant: v, Scale: *scale, Verify: *verify, Engine: *engine, Obs: o})
 	writeObs(o, *traceOut, *metrics)
 	fmt.Printf("benchmark %s under %v (%s layout)\n", *bench, p, v)
 	fmt.Printf("cycles          %d\n", r.Cycles)

@@ -1,0 +1,137 @@
+package fscoherence
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fscoherence/internal/obs"
+	"fscoherence/internal/workload"
+)
+
+// engineEquivalenceScale keeps the full workload × protocol × engine matrix
+// affordable; the naive engine pays for every simulated cycle, so this is the
+// most expensive test in the suite at larger scales.
+const engineEquivalenceScale = 0.2
+
+// TestEngineEquivalence is the tentpole acceptance test: for every registered
+// workload under all three protocol modes, the quiescence-skipping engine and
+// the naive cycle-stepped loop must produce identical cycle counts, identical
+// counter snapshots, and identical detection lists. Skipping is a pure
+// wall-clock optimization; any divergence here is a missed or late wake-up.
+func TestEngineEquivalence(t *testing.T) {
+	for _, bench := range workload.Names() {
+		for _, mode := range []Protocol{Baseline, FSDetect, FSLite} {
+			bench, mode := bench, mode
+			t.Run(fmt.Sprintf("%s-%v", bench, mode), func(t *testing.T) {
+				t.Parallel()
+				naive, err := Run(bench, Options{Protocol: mode, Scale: engineEquivalenceScale, Engine: "naive"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				skip, err := Run(bench, Options{Protocol: mode, Scale: engineEquivalenceScale, Engine: "skip"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if naive.Cycles != skip.Cycles {
+					t.Errorf("cycles diverge: naive=%d skip=%d", naive.Cycles, skip.Cycles)
+				}
+				ns, ss := naive.Stats.Snapshot(), skip.Stats.Snapshot()
+				if !reflect.DeepEqual(ns, ss) {
+					for k, v := range ns {
+						if ss[k] != v {
+							t.Errorf("counter %s diverges: naive=%d skip=%d", k, v, ss[k])
+						}
+					}
+					for k, v := range ss {
+						if _, ok := ns[k]; !ok {
+							t.Errorf("counter %s only under skip (=%d)", k, v)
+						}
+					}
+				}
+				if !reflect.DeepEqual(naive.Detections, skip.Detections) {
+					t.Errorf("detections diverge:\nnaive: %v\nskip:  %v", naive.Detections, skip.Detections)
+				}
+				if !reflect.DeepEqual(naive.Contended, skip.Contended) {
+					t.Errorf("contended lists diverge:\nnaive: %v\nskip:  %v", naive.Contended, skip.Contended)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineEquivalenceVerified reruns one false-sharing cell per protocol
+// with the oracle and SWMR scanner enabled under both engines: the per-cycle
+// invariant machinery must observe the same architectural history.
+func TestEngineEquivalenceVerified(t *testing.T) {
+	for _, mode := range []Protocol{Baseline, FSDetect, FSLite} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			naive, err := Run("LR", Options{Protocol: mode, Scale: engineEquivalenceScale, Verify: true, Engine: "naive"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			skip, err := Run("LR", Options{Protocol: mode, Scale: engineEquivalenceScale, Verify: true, Engine: "skip"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(naive.Violations) != 0 || len(skip.Violations) != 0 {
+				t.Fatalf("violations: naive=%v skip=%v", naive.Violations, skip.Violations)
+			}
+			if naive.Cycles != skip.Cycles {
+				t.Errorf("cycles diverge: naive=%d skip=%d", naive.Cycles, skip.Cycles)
+			}
+			if !reflect.DeepEqual(naive.Stats.Snapshot(), skip.Stats.Snapshot()) {
+				t.Error("counter snapshots diverge under verification")
+			}
+		})
+	}
+}
+
+// traceUnder runs the golden lock workload (LR under FSLite) with the full
+// observability attachment on the given engine and returns the exported
+// Chrome trace bytes.
+func traceUnder(t *testing.T, engine string) []byte {
+	t.Helper()
+	o := obs.New(obs.Config{})
+	if _, err := Run("LR", Options{Protocol: FSLite, Scale: 0.5, Obs: o, Engine: engine}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, o.Tracer.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEngineGoldenTraceIdentical pins the strongest equivalence property:
+// with event tracing enabled (which forces the skipping engine to honor every
+// cycle at which any event fires), the exported trace of the golden lock run
+// is byte-identical between engines — same events, same cycle stamps, same
+// order.
+func TestEngineGoldenTraceIdentical(t *testing.T) {
+	naive := traceUnder(t, "naive")
+	skip := traceUnder(t, "skip")
+	if !bytes.Equal(naive, skip) {
+		t.Fatalf("golden trace diverges between engines: naive=%d bytes, skip=%d bytes", len(naive), len(skip))
+	}
+}
+
+// TestEngineFigTablesIdentical renders one full figure table under each
+// engine (via the Runner-level engine default, as fsexp -engine does) and
+// compares the rendered output byte-for-byte.
+func TestEngineFigTablesIdentical(t *testing.T) {
+	render := func(engine string) string {
+		r := NewRunner(0)
+		r.SetEngine(engine)
+		return Fig14Speedup(r, engineEquivalenceScale).String() +
+			Fig13MissFractions(r, engineEquivalenceScale).String()
+	}
+	naive := render("naive")
+	skip := render("skip")
+	if naive != skip {
+		t.Fatalf("figure tables diverge between engines:\n--- naive ---\n%s\n--- skip ---\n%s", naive, skip)
+	}
+}

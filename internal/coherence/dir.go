@@ -126,6 +126,23 @@ type Dir struct {
 	trace          *obs.Tracer
 	episodeHist    *obs.Histogram
 	episodeInvHist *obs.Histogram
+
+	// peekForced, when the policy implements ForcedTerminationPeeker, reports
+	// how many forced terminations the policy has queued without draining
+	// them (NextEvent must see them: Tick drains the policy's queue, so work
+	// can be pending with d.forced still empty). forcedOpaque marks a policy
+	// that does not expose the count: NextEvent then conservatively reports
+	// every next cycle as a potential wake-up.
+	peekForced   func() int
+	forcedOpaque bool
+}
+
+// ForcedTerminationPeeker is an optional DirPolicy extension used by the
+// quiescence-skipping engine: it reports how many forced terminations the
+// policy has queued for the next TakeForcedTerminations call, without
+// draining them.
+type ForcedTerminationPeeker interface {
+	PendingForcedTerminations() int
 }
 
 // NewDir builds directory slice s. policy may be nil (baseline protocol).
@@ -139,7 +156,7 @@ func NewDir(slice int, p Params, mode Protocol, net *network.Network, mem *memsy
 		}
 		dataDir = memsys.NewSetAssoc[struct{}](fmt.Sprintf("llcdata%d", slice), p.LLCEntriesSlice, p.LLCWays, p.BlockSize)
 	}
-	return &Dir{
+	d := &Dir{
 		slice:   slice,
 		node:    p.SliceNode(slice),
 		params:  p,
@@ -151,6 +168,38 @@ func NewDir(slice int, p Params, mode Protocol, net *network.Network, mem *memsy
 		stats:   st,
 		dataDir: dataDir,
 	}
+	if policy != nil {
+		if pk, ok := policy.(ForcedTerminationPeeker); ok {
+			d.peekForced = pk.PendingForcedTerminations
+		} else {
+			d.forcedOpaque = true
+		}
+	}
+	return d
+}
+
+// NextEvent reports the slice's earliest self-driven wake-up: the next cycle
+// while locally queued work exists (retried requests, forced terminations —
+// including ones still queued inside the policy), else the earliest pending
+// memory-fill completion, else NoEvent. Incoming messages are covered by the
+// network's NextArrival report.
+func (d *Dir) NextEvent(now uint64) uint64 {
+	if len(d.retryq) > 0 || len(d.forced) > 0 {
+		return now + 1
+	}
+	if d.forcedOpaque || (d.peekForced != nil && d.peekForced() > 0) {
+		return now + 1
+	}
+	next := uint64(NoEvent)
+	for _, f := range d.memq {
+		if f.readyAt < next {
+			next = f.readyAt
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
 }
 
 // StateOf returns the directory state of the block containing a.
@@ -216,12 +265,27 @@ func (d *Dir) ExternalAccess(a memsys.Addr) bool {
 		return false
 	}
 	d.forced = append(d.forced, a.BlockAlign(d.params.BlockSize))
-	d.stats.Inc(stats.CtrFSTermExternal)
+	d.stats.IncID(stats.IDFSTermExternal)
 	return true
 }
 
-func (d *Dir) send(m *network.Msg)                    { m.Src = d.node; d.net.Send(m) }
-func (d *Dir) sendAfter(m *network.Msg, extra uint64) { m.Src = d.node; d.net.SendAfter(m, extra) }
+// send/sendAfter dispatch a message from this slice. The caller's Msg is
+// copied into a pooled message before entering the network, so call sites can
+// keep building stack-allocated composite literals while the heap traffic is
+// absorbed by the network's freelist.
+func (d *Dir) send(m *network.Msg) {
+	pm := d.net.NewMsg()
+	*pm = *m
+	pm.Src = d.node
+	d.net.Send(pm)
+}
+
+func (d *Dir) sendAfter(m *network.Msg, extra uint64) {
+	pm := d.net.NewMsg()
+	*pm = *m
+	pm.Src = d.node
+	d.net.SendAfter(pm, extra)
+}
 
 // pinLine/unpinLine protect a block's directory entry (and its data slot in
 // non-inclusive mode) from replacement during transactions and PRV episodes.
@@ -270,7 +334,7 @@ func (d *Dir) touchData(e *memsys.Entry[dirLine]) {
 	vl := &ve.Payload
 	if vl.dirty {
 		d.mem.WriteBlock(victim.Tag, vl.data)
-		d.stats.Inc(stats.CtrMemWrites)
+		d.stats.IncID(stats.IDMemWrites)
 		vl.dirty = false
 	}
 	vl.hasData = false
@@ -286,10 +350,11 @@ func (d *Dir) ensureData(e *memsys.Entry[dirLine], m *network.Msg) bool {
 		return true
 	}
 	line.txn = &dirTxn{kind: txnMemFill, refetch: true}
+	m.Retain()
 	line.pendq = append(line.pendq, m)
-	d.stats.Max(stats.CtrDirPendqPeak, uint64(len(line.pendq)))
+	d.stats.MaxID(stats.IDDirPendqPeak, uint64(len(line.pendq)))
 	d.pinLine(e.Tag)
-	d.stats.Inc(stats.CtrMemReads)
+	d.stats.IncID(stats.IDMemReads)
 	d.memq = append(d.memq, memFill{readyAt: d.now + d.params.MemLatency, addr: e.Tag})
 	return false
 }
@@ -332,7 +397,7 @@ func (d *Dir) Tick(now uint64) {
 		q := d.retryq
 		d.retryq = nil
 		for _, m := range q {
-			d.handleRequest(m)
+			d.redispatchRequest(m)
 		}
 	}
 
@@ -342,7 +407,17 @@ func (d *Dir) Tick(now uint64) {
 			break
 		}
 		d.handle(m)
+		d.net.Release(m)
 	}
+}
+
+// redispatchRequest re-enters a held (retained) request into the request path
+// and recycles it, unless a handler retained it again (pending queue, retry
+// queue, or a new transaction).
+func (d *Dir) redispatchRequest(m *network.Msg) {
+	m.Unretain()
+	d.handleRequest(m)
+	d.net.Release(m)
 }
 
 func (d *Dir) tryForcedTermination(a memsys.Addr) bool {
@@ -388,21 +463,22 @@ func requestorCore(m *network.Msg) int { return int(m.Requestor) }
 // handleRequest serves a demand or CHK request, possibly queueing it.
 func (d *Dir) handleRequest(m *network.Msg) {
 	blk := m.Addr.BlockAlign(d.params.BlockSize)
-	d.stats.Inc(stats.CtrLLCAccesses)
+	d.stats.IncID(stats.IDLLCAccesses)
 	e := d.llc.Lookup(blk)
 	if e == nil {
-		d.stats.Inc(stats.CtrLLCMisses)
+		d.stats.IncID(stats.IDLLCMisses)
 		d.allocate(blk, m)
 		return
 	}
 	line := &e.Payload
 	if line.txn != nil {
-		d.stats.Inc(stats.CtrDirPendingQ)
+		d.stats.IncID(stats.IDDirPendingQ)
+		m.Retain()
 		line.pendq = append(line.pendq, m)
-		d.stats.Max(stats.CtrDirPendqPeak, uint64(len(line.pendq)))
+		d.stats.MaxID(stats.IDDirPendqPeak, uint64(len(line.pendq)))
 		return
 	}
-	d.stats.Inc(stats.CtrLLCHits)
+	d.stats.IncID(stats.IDLLCHits)
 	d.serve(e, m)
 }
 
@@ -430,7 +506,7 @@ func (d *Dir) serve(e *memsys.Entry[dirLine], m *network.Msg) {
 		return
 	}
 
-	d.stats.Inc(stats.CtrDirFetchReq)
+	d.stats.IncID(stats.IDDirFetchReq)
 	requestMD, privatize := false, false
 	if d.policy != nil {
 		if m.Counted {
@@ -488,7 +564,7 @@ func (d *Dir) serveGetS(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 		if line.owner == core {
 			panic(fmt.Sprintf("dir %d: GetS from current owner %d for %v", d.slice, core, e.Tag))
 		}
-		d.stats.Inc(stats.CtrDirInterv)
+		d.stats.IncID(stats.IDDirInterv)
 		if d.policy != nil {
 			d.policy.OnInvalidationsSent(e.Tag, 1)
 			if requestMD {
@@ -496,6 +572,7 @@ func (d *Dir) serveGetS(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 			}
 		}
 		d.sendAfter(&network.Msg{Op: network.OpFwdGetS, Dst: d.params.L1Node(line.owner), Addr: e.Tag, Requestor: m.Requestor, ReqMD: requestMD}, d.ctrlLat())
+		m.Retain()
 		line.txn = &dirTxn{kind: txnFwd, req: m, oldOwner: line.owner}
 		d.pinLine(e.Tag)
 	default:
@@ -522,7 +599,7 @@ func (d *Dir) serveGetX(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 		others.remove(core) // a stale sharer entry for the requestor itself
 		n := others.count()
 		others.forEach(func(c int) {
-			d.stats.Inc(stats.CtrDirInval)
+			d.stats.IncID(stats.IDDirInval)
 			d.sendAfter(&network.Msg{Op: network.OpInv, Dst: d.params.L1Node(c), Addr: e.Tag, Requestor: m.Requestor, ReqMD: requestMD}, d.ctrlLat())
 		})
 		if d.policy != nil && n > 0 {
@@ -539,7 +616,7 @@ func (d *Dir) serveGetX(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 		if line.owner == core {
 			panic(fmt.Sprintf("dir %d: GetX from current owner %d for %v", d.slice, core, e.Tag))
 		}
-		d.stats.Inc(stats.CtrDirInterv)
+		d.stats.IncID(stats.IDDirInterv)
 		if d.policy != nil {
 			d.policy.OnInvalidationsSent(e.Tag, 1)
 			if requestMD {
@@ -547,6 +624,7 @@ func (d *Dir) serveGetX(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 			}
 		}
 		d.sendAfter(&network.Msg{Op: network.OpFwdGetX, Dst: d.params.L1Node(line.owner), Addr: e.Tag, Requestor: m.Requestor, ReqMD: requestMD}, d.ctrlLat())
+		m.Retain()
 		line.txn = &dirTxn{kind: txnFwd, req: m, oldOwner: line.owner}
 		d.pinLine(e.Tag)
 	default:
@@ -567,7 +645,7 @@ func (d *Dir) serveUpgrade(e *memsys.Entry[dirLine], m *network.Msg, requestMD b
 	others.remove(core)
 	n := others.count()
 	others.forEach(func(c int) {
-		d.stats.Inc(stats.CtrDirInval)
+		d.stats.IncID(stats.IDDirInval)
 		d.sendAfter(&network.Msg{Op: network.OpInv, Dst: d.params.L1Node(c), Addr: e.Tag, Requestor: m.Requestor, ReqMD: requestMD}, d.ctrlLat())
 	})
 	if d.policy != nil && n > 0 {
@@ -657,6 +735,7 @@ func (d *Dir) startPrvInit(e *memsys.Entry[dirLine], m *network.Msg) {
 		targets.add(line.owner)
 		needOwnerData = true
 	}
+	m.Retain()
 	txn := &dirTxn{kind: txnPrvInit, req: m, expect: targets, needOwnerData: needOwnerData}
 	line.txn = txn
 	d.pinLine(e.Tag)
@@ -695,7 +774,7 @@ func (d *Dir) maybeFinishPrvInit(e *memsys.Entry[dirLine]) {
 		// Abort (§V-A): the TR_PRV receivers already hold PRV copies and
 		// must be rolled back through the termination sequence; the
 		// triggering request is then served normally.
-		d.stats.Inc(stats.CtrFSPrivAborted)
+		d.stats.IncID(stats.IDFSPrivAborted)
 		if txn.prvJoin.empty() {
 			line.txn = nil
 			d.unpinLine(e.Tag)
@@ -717,7 +796,7 @@ func (d *Dir) maybeFinishPrvInit(e *memsys.Entry[dirLine]) {
 	}
 
 	// Commit privatization.
-	d.stats.Inc(stats.CtrFSPrivatized)
+	d.stats.IncID(stats.IDFSPrivatized)
 	d.policy.OnPrivatize(e.Tag)
 	d.setState(e, DirPrv)
 	line.prvSince = d.now
@@ -747,6 +826,8 @@ func (d *Dir) maybeFinishPrvInit(e *memsys.Entry[dirLine]) {
 		line.sharers.add(core)
 		d.sendAfter(&network.Msg{Op: network.OpDataPrv, Dst: m.Requestor, Addr: e.Tag, Data: cloneBytes(line.data)}, d.dataLat())
 	}
+	m.Unretain()
+	d.net.Release(m)
 	d.drainPendq(line)
 }
 
@@ -755,14 +836,17 @@ func (d *Dir) maybeFinishPrvInit(e *memsys.Entry[dirLine]) {
 // drops the LLC line (inclusion-driven termination).
 func (d *Dir) startPrvTerm(e *memsys.Entry[dirLine], heldReq *network.Msg, evictAfter bool, reason string) {
 	line := &e.Payload
-	d.stats.Inc(stats.CtrFSTerminations)
+	d.stats.IncID(stats.IDFSTerminations)
 	switch reason {
 	case "conflict", "abort":
-		d.stats.Inc(stats.CtrFSTermConflict)
+		d.stats.IncID(stats.IDFSTermConflict)
 	case "evict":
-		d.stats.Inc(stats.CtrFSTermEviction)
+		d.stats.IncID(stats.IDFSTermEviction)
 	case "forced":
-		d.stats.Inc(stats.CtrFSTermSAMEvict)
+		d.stats.IncID(stats.IDFSTermSAMEvict)
+	}
+	if heldReq != nil {
+		heldReq.Retain()
 	}
 	txn := &dirTxn{
 		kind:       txnPrvTerm,
@@ -817,7 +901,7 @@ func (d *Dir) maybeFinishPrvTerm(e *memsys.Entry[dirLine]) {
 		if txn.req != nil {
 			// The termination was inclusion-driven: the held request is for
 			// the block displacing this one; claim the freed way now.
-			d.handleRequest(txn.req)
+			d.redispatchRequest(txn.req)
 		}
 	}
 }
@@ -1071,6 +1155,8 @@ func (d *Dir) finishFwd(e *memsys.Entry[dirLine], txn *dirTxn) {
 	}
 	line.txn = nil
 	d.unpinLine(e.Tag)
+	txn.req.Unretain()
+	d.net.Release(txn.req)
 	d.drainPendq(line)
 }
 
@@ -1120,6 +1206,7 @@ func (d *Dir) allocate(blk memsys.Addr, m *network.Msg) {
 	if v := d.llc.Victim(blk); v == nil || v.Valid {
 		if v == nil {
 			// Every way is pinned by an in-progress transaction: retry.
+			m.Retain()
 			d.retryq = append(d.retryq, m)
 			return
 		}
@@ -1134,10 +1221,11 @@ func (d *Dir) allocate(blk memsys.Addr, m *network.Msg) {
 		panic("dir: insert displaced a line despite victim pre-check")
 	}
 	e.Payload = dirLine{state: DirIdle, txn: &dirTxn{kind: txnMemFill}}
+	m.Retain()
 	e.Payload.pendq = append(e.Payload.pendq, m)
-	d.stats.Max(stats.CtrDirPendqPeak, uint64(len(e.Payload.pendq)))
+	d.stats.MaxID(stats.IDDirPendqPeak, uint64(len(e.Payload.pendq)))
 	d.pinLine(blk)
-	d.stats.Inc(stats.CtrMemReads)
+	d.stats.IncID(stats.IDMemReads)
 	d.memq = append(d.memq, memFill{readyAt: d.now + d.params.MemLatency, addr: blk})
 }
 
@@ -1154,6 +1242,7 @@ func (d *Dir) startEvict(v *memsys.Entry[dirLine], m *network.Msg) bool {
 		d.dropLine(v)
 		return true
 	case DirShared:
+		m.Retain()
 		txn := &dirTxn{kind: txnEvict, req: m, expect: line.sharers}
 		line.txn = txn
 		d.pinLine(v.Tag)
@@ -1162,6 +1251,7 @@ func (d *Dir) startEvict(v *memsys.Entry[dirLine], m *network.Msg) bool {
 		})
 		return false
 	case DirOwned:
+		m.Retain()
 		txn := &dirTxn{kind: txnEvict, req: m}
 		txn.expect.add(line.owner)
 		line.txn = txn
@@ -1193,7 +1283,7 @@ func (d *Dir) maybeFinishEvict(e *memsys.Entry[dirLine]) {
 		// request cannot be starved by later allocations. handleRequest
 		// re-checks residency: another transaction may have brought the
 		// block in meanwhile.
-		d.handleRequest(req)
+		d.redispatchRequest(req)
 	}
 }
 
@@ -1204,12 +1294,12 @@ func (d *Dir) dropLine(e *memsys.Entry[dirLine]) {
 	d.traceState(e.Tag, line.state, DirIdle)
 	if line.dirty && line.hasData {
 		d.mem.WriteBlock(e.Tag, line.data)
-		d.stats.Inc(stats.CtrMemWrites)
+		d.stats.IncID(stats.IDMemWrites)
 	}
 	if d.policy != nil {
 		d.policy.OnDirEviction(e.Tag)
 	}
-	d.stats.Inc(stats.CtrLLCEvicts)
+	d.stats.IncID(stats.IDLLCEvicts)
 	d.unpinLine(e.Tag)
 	d.llc.Invalidate(e.Tag)
 	if d.dataDir != nil {
@@ -1238,15 +1328,17 @@ func (d *Dir) finishMemFill(blk memsys.Addr) {
 	line.txn = nil
 	d.unpinLine(blk)
 	d.touchData(e)
-	d.stats.Inc(stats.CtrLLCFills)
+	d.stats.IncID(stats.IDLLCFills)
 	pend := line.pendq
 	line.pendq = nil
 	for _, m := range pend {
 		if line.txn != nil {
-			line.pendq = append(line.pendq, m)
-			d.stats.Max(stats.CtrDirPendqPeak, uint64(len(line.pendq)))
+			line.pendq = append(line.pendq, m) // still retained
+			d.stats.MaxID(stats.IDDirPendqPeak, uint64(len(line.pendq)))
 			continue
 		}
+		m.Unretain()
 		d.serve(e, m)
+		d.net.Release(m)
 	}
 }

@@ -9,6 +9,11 @@ import (
 	"fscoherence/internal/stats"
 )
 
+// NoEvent is the NextEvent sentinel for coherence controllers: no self-driven
+// wake-up is scheduled; the component only acts in response to an incoming
+// message (covered by the network's NextArrival report).
+const NoEvent = ^uint64(0)
+
 // l1Line is the per-line payload of an L1 data cache.
 type l1Line struct {
 	state L1State
@@ -230,10 +235,14 @@ func (l *L1) homeNode(a memsys.Addr) network.NodeID {
 	return l.params.SliceNode(l.params.HomeSlice(uint64(a)))
 }
 
-// send dispatches a message from this L1.
+// send dispatches a message from this L1. The caller's Msg is copied into a
+// pooled message before entering the network, so call sites can build their
+// message as a stack-allocated composite literal (the literal never escapes).
 func (l *L1) send(m *network.Msg) {
-	m.Src = l.node
-	l.net.Send(m)
+	pm := l.net.NewMsg()
+	*pm = *m
+	pm.Src = l.node
+	l.net.Send(pm)
 }
 
 // SubmitResult reports what Submit did with an access.
@@ -263,15 +272,15 @@ func (l *L1) Submit(a *Access) SubmitResult {
 	e := l.cache.Lookup(blk)
 	if e != nil {
 		if res, ok := l.tryLocal(a, blk, e); ok {
-			l.stats.Inc(stats.CtrL1DAccesses)
+			l.stats.IncID(stats.IDL1DAccesses)
 			return res
 		}
 		// Resident but insufficient permission: upgrade or CHK transaction.
 		if len(l.mshrs) >= l.maxMSHRs {
 			return SubmitRetry
 		}
-		l.stats.Inc(stats.CtrL1DAccesses)
-		l.stats.Inc(stats.CtrL1DMisses)
+		l.stats.IncID(stats.IDL1DAccesses)
+		l.stats.IncID(stats.IDL1DMisses)
 		switch e.Payload.state {
 		case L1Shared:
 			l.startTxn(a, blk, mshrWaitUpgrade, network.OpUpgrade)
@@ -280,7 +289,7 @@ func (l *L1) Submit(a *Access) SubmitResult {
 			if a.IsWrite() {
 				op = network.OpGetXCHK
 			}
-			l.stats.Inc(stats.CtrFSChkRequests)
+			l.stats.IncID(stats.IDFSChkRequests)
 			l.startTxn(a, blk, mshrWaitChk, op)
 		default:
 			panic(fmt.Sprintf("l1: unexpected permission miss in state %v", e.Payload.state))
@@ -308,8 +317,8 @@ func (l *L1) Submit(a *Access) SubmitResult {
 			}
 			l.stats.Inc("l2.hits")
 			if res, ok := l.tryLocal(a, blk, ne); ok {
-				l.stats.Inc(stats.CtrL1DAccesses)
-				l.stats.Inc(stats.CtrL1DMisses) // an L1 miss, served by the L2
+				l.stats.IncID(stats.IDL1DAccesses)
+				l.stats.IncID(stats.IDL1DMisses) // an L1 miss, served by the L2
 				if res == SubmitHit && len(l.local) > 0 {
 					l.local[len(l.local)-1].at += l.params.L2HitCycles
 				}
@@ -320,8 +329,8 @@ func (l *L1) Submit(a *Access) SubmitResult {
 			if len(l.mshrs) >= l.maxMSHRs {
 				return SubmitRetry
 			}
-			l.stats.Inc(stats.CtrL1DAccesses)
-			l.stats.Inc(stats.CtrL1DMisses)
+			l.stats.IncID(stats.IDL1DAccesses)
+			l.stats.IncID(stats.IDL1DMisses)
 			switch ne.Payload.state {
 			case L1Shared:
 				l.startTxn(a, blk, mshrWaitUpgrade, network.OpUpgrade)
@@ -330,7 +339,7 @@ func (l *L1) Submit(a *Access) SubmitResult {
 				if a.IsWrite() {
 					op = network.OpGetXCHK
 				}
-				l.stats.Inc(stats.CtrFSChkRequests)
+				l.stats.IncID(stats.IDFSChkRequests)
 				l.startTxn(a, blk, mshrWaitChk, op)
 			default:
 				panic("l1: unexpected permission miss after L2 promotion")
@@ -344,8 +353,8 @@ func (l *L1) Submit(a *Access) SubmitResult {
 	if len(l.mshrs) >= l.maxMSHRs {
 		return SubmitRetry
 	}
-	l.stats.Inc(stats.CtrL1DAccesses)
-	l.stats.Inc(stats.CtrL1DMisses)
+	l.stats.IncID(stats.IDL1DAccesses)
+	l.stats.IncID(stats.IDL1DMisses)
 	if a.IsWrite() {
 		l.startTxn(a, blk, mshrWaitDataExcl, network.OpGetX)
 	} else {
@@ -397,7 +406,7 @@ func (l *L1) tryLocal(a *Access, blk memsys.Addr, e *memsys.Entry[l1Line]) (Subm
 }
 
 func (l *L1) hit(a *Access) {
-	l.stats.Inc(stats.CtrL1DHits)
+	l.stats.IncID(stats.IDL1DHits)
 	l.scheduleLocal(a)
 }
 
@@ -454,7 +463,30 @@ func (l *L1) Tick(now uint64) {
 			break
 		}
 		l.handle(msg)
+		l.net.Release(msg) // no-op if a handler retained (deferred) it
 	}
+}
+
+// NextEvent returns the earliest cycle > now at which the controller has
+// self-driven work: the next due local-hit completion. Everything else the L1
+// does is a reaction to network delivery (covered by Network.NextArrival) or
+// to a core's Submit. NoEvent means no local completions are scheduled.
+func (l *L1) NextEvent(now uint64) uint64 {
+	next := NoEvent
+	for i := range l.local {
+		if at := l.local[i].at; at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+// redispatch re-handles a message that a handler had retained (deferred)
+// earlier, releasing it afterwards unless it was retained again.
+func (l *L1) redispatch(m *network.Msg) {
+	m.Unretain()
+	l.handle(m)
+	l.net.Release(m)
 }
 
 // commitNow architecturally performs the access against the (resident and
@@ -481,7 +513,7 @@ func (l *L1) commitNow(a *Access) []byte {
 		if l.obs != nil {
 			l.obs.OnLoadCommit(l.core, a.Addr, val)
 		}
-		l.stats.Inc(stats.CtrLoadsCommitted)
+		l.stats.IncID(stats.IDLoadsCommitted)
 		return val
 	case AccessStore:
 		copy(line.data[off:off+a.Size], a.StoreData)
@@ -492,7 +524,7 @@ func (l *L1) commitNow(a *Access) []byte {
 		if l.obs != nil {
 			l.obs.OnStoreCommit(l.core, a.Addr, a.StoreData)
 		}
-		l.stats.Inc(stats.CtrStoresCommit)
+		l.stats.IncID(stats.IDStoresCommit)
 		return nil
 	case AccessReduce:
 		// Little-endian wrap-around accumulation over Size bytes.
@@ -511,7 +543,7 @@ func (l *L1) commitNow(a *Access) []byte {
 		if l.obs != nil {
 			l.obs.OnReduceCommit(l.core, a.Addr, delta)
 		}
-		l.stats.Inc("cpu.reduces")
+		l.stats.IncID(stats.IDReducesCommit)
 		return nil
 	case AccessAtomicRMW:
 		old := make([]byte, a.Size)
@@ -530,7 +562,7 @@ func (l *L1) commitNow(a *Access) []byte {
 			l.obs.OnLoadCommit(l.core, a.Addr, old)
 			l.obs.OnStoreCommit(l.core, a.Addr, next)
 		}
-		l.stats.Inc(stats.CtrAtomicsCommit)
+		l.stats.IncID(stats.IDAtomicsCommit)
 		return old
 	}
 	panic("l1: unreachable")
@@ -547,7 +579,7 @@ func (l *L1) fill(blk memsys.Addr, data []byte, st L1State, dirty bool, sendMD b
 	}
 	e.Payload = l1Line{state: st, dirty: dirty, data: data}
 	l.traceState(blk, L1Invalid, st)
-	l.stats.Inc(stats.CtrL1DFills)
+	l.stats.IncID(stats.IDL1DFills)
 	if l.policy != nil {
 		l.policy.Allocate(blk, sendMD)
 	}
@@ -561,7 +593,7 @@ func (l *L1) fill(blk memsys.Addr, data []byte, st L1State, dirty bool, sendMD b
 // silent drop for clean S, writeback for E/M, privatized writeback for PRV.
 func (l *L1) evict(ev *memsys.Entry[l1Line]) {
 	if l.l2 != nil {
-		l.stats.Inc(stats.CtrL1DEvicts)
+		l.stats.IncID(stats.IDL1DEvicts)
 		l.sendEvictionMD(ev.Tag) // PAM leaves with the L1 residence
 		if ev.Payload.state == L1Prv && l.policy != nil {
 			l.policy.Drop(ev.Tag)
@@ -583,7 +615,7 @@ func (l *L1) evictFromHierarchy(ev *memsys.Entry[l1Line], shipMD bool) {
 	blk := ev.Tag
 	line := ev.Payload
 	l.traceState(blk, line.state, L1Invalid)
-	l.stats.Inc(stats.CtrL1DEvicts)
+	l.stats.IncID(stats.IDL1DEvicts)
 	if !shipMD {
 		// The PAM entry was already communicated at L1 eviction; only the
 		// directory-visible eviction remains.
@@ -593,11 +625,11 @@ func (l *L1) evictFromHierarchy(ev *memsys.Entry[l1Line], shipMD bool) {
 			l.wb[blk] = &wbEntry{data: line.data}
 			l.send(&network.Msg{Op: network.OpWB, Dst: l.homeNode(blk), Addr: blk, Data: line.data, Requestor: l.node})
 		case L1Modified:
-			l.stats.Inc(stats.CtrL1DWbDirty)
+			l.stats.IncID(stats.IDL1DWbDirty)
 			l.wb[blk] = &wbEntry{data: line.data, dirty: true}
 			l.send(&network.Msg{Op: network.OpWB, Dst: l.homeNode(blk), Addr: blk, Data: line.data, Dirty: true, Requestor: l.node})
 		case L1Prv:
-			l.stats.Inc(stats.CtrL1DWbDirty)
+			l.stats.IncID(stats.IDL1DWbDirty)
 			l.wb[blk] = &wbEntry{data: line.data, dirty: true, prv: true}
 			l.send(&network.Msg{Op: network.OpPrvWB, Dst: l.homeNode(blk), Addr: blk, Data: line.data, Base: line.base, Requestor: l.node})
 		default:
@@ -617,12 +649,12 @@ func (l *L1) evictFromHierarchy(ev *memsys.Entry[l1Line], shipMD bool) {
 		l.send(&network.Msg{Op: network.OpWB, Dst: l.homeNode(blk), Addr: blk, Data: line.data, Requestor: l.node})
 		l.sendEvictionMD(blk)
 	case L1Modified:
-		l.stats.Inc(stats.CtrL1DWbDirty)
+		l.stats.IncID(stats.IDL1DWbDirty)
 		l.wb[blk] = &wbEntry{data: line.data, dirty: true}
 		l.send(&network.Msg{Op: network.OpWB, Dst: l.homeNode(blk), Addr: blk, Data: line.data, Dirty: true, Requestor: l.node})
 		l.sendEvictionMD(blk)
 	case L1Prv:
-		l.stats.Inc(stats.CtrL1DWbDirty)
+		l.stats.IncID(stats.IDL1DWbDirty)
 		l.wb[blk] = &wbEntry{data: line.data, dirty: true, prv: true}
 		l.send(&network.Msg{Op: network.OpPrvWB, Dst: l.homeNode(blk), Addr: blk, Data: line.data, Base: line.base, Requestor: l.node})
 		if l.policy != nil {
@@ -641,7 +673,7 @@ func (l *L1) sendEvictionMD(blk memsys.Addr) {
 	}
 	mdR, mdW, sendMD, ok := l.policy.TakeEntry(blk)
 	if ok && sendMD {
-		l.stats.Inc(stats.CtrFSMetadataMsgs)
+		l.stats.IncID(stats.IDFSMetadataMsgs)
 		l.send(&network.Msg{Op: network.OpRepMD, Dst: l.homeNode(blk), Addr: blk, MDRead: mdR, MDWrite: mdW, Requestor: l.node})
 	}
 }
@@ -693,7 +725,7 @@ func (l *L1) finishTxn(m *mshr) {
 		m.access.Done(val)
 	}
 	for _, dm := range m.deferred {
-		l.handle(dm)
+		l.redispatch(dm)
 	}
 }
 
@@ -733,7 +765,7 @@ func (l *L1) onData(m *network.Msg) {
 			l.commitFromBuffer(tx, m.Data)
 			delete(l.mshrs, m.Addr)
 			for _, dm := range tx.deferred {
-				l.handle(dm) // no copy left: answered from the I state
+				l.redispatch(dm) // no copy left: answered from the I state
 			}
 			return
 		}
@@ -792,7 +824,7 @@ func (l *L1) commitFromBuffer(tx *mshr, data []byte) {
 	if l.obs != nil {
 		l.obs.OnLoadCommit(l.core, a.Addr, val)
 	}
-	l.stats.Inc(stats.CtrLoadsCommitted)
+	l.stats.IncID(stats.IDLoadsCommitted)
 	if a.Done != nil {
 		a.Done(val)
 	}
@@ -950,6 +982,7 @@ func (l *L1) bufferFwd(m *network.Msg) bool {
 	default:
 		return false
 	}
+	m.Retain()
 	tx.deferred = append(tx.deferred, m)
 	return true
 }
@@ -969,7 +1002,7 @@ func (l *L1) onFwdGetS(m *network.Msg) {
 				// Report our PAM entry (keeping the line) and remember to
 				// report again on eviction (§IV).
 				if mdR, mdW, ok := l.policy.PeekEntry(m.Addr); ok {
-					l.stats.Inc(stats.CtrFSMetadataMsgs)
+					l.stats.IncID(stats.IDFSMetadataMsgs)
 					l.send(&network.Msg{Op: network.OpRepMD, Dst: m.Src, Addr: m.Addr, MDRead: mdR, MDWrite: mdW, HasCopy: true, Requestor: l.node})
 				} else {
 					l.sendPhantom(m.Src, m.Addr)
@@ -1031,7 +1064,7 @@ func (l *L1) takeAndReportMD(dir network.NodeID, blk memsys.Addr, reqMD bool) {
 		return
 	}
 	if ok {
-		l.stats.Inc(stats.CtrFSMetadataMsgs)
+		l.stats.IncID(stats.IDFSMetadataMsgs)
 		l.send(&network.Msg{Op: network.OpRepMD, Dst: dir, Addr: blk, MDRead: mdR, MDWrite: mdW, Requestor: l.node})
 	} else {
 		l.sendPhantom(dir, blk)
@@ -1039,8 +1072,8 @@ func (l *L1) takeAndReportMD(dir network.NodeID, blk memsys.Addr, reqMD bool) {
 }
 
 func (l *L1) sendPhantom(dir network.NodeID, blk memsys.Addr) {
-	l.stats.Inc(stats.CtrFSPhantomMsgs)
-	l.stats.Inc(stats.CtrFSMetadataMsgs)
+	l.stats.IncID(stats.IDFSPhantomMsgs)
+	l.stats.IncID(stats.IDFSMetadataMsgs)
 	l.send(&network.Msg{Op: network.OpMDPhantom, Dst: dir, Addr: blk, Requestor: l.node})
 }
 
@@ -1084,6 +1117,7 @@ func (l *L1) onInv(m *network.Msg) {
 			return
 		}
 		if tx, ok := l.mshrs[m.Addr]; ok {
+			m.Retain()
 			tx.deferred = append(tx.deferred, m)
 			return
 		}
@@ -1117,6 +1151,7 @@ func (l *L1) onTRPrv(m *network.Msg) {
 		owner := tx.state == mshrWaitData || tx.state == mshrWaitDataExcl ||
 			(tx.state == mshrWaitUpgrade && tx.dataSeen)
 		if owner {
+			m.Retain()
 			tx.deferred = append(tx.deferred, m)
 			return
 		}
@@ -1148,7 +1183,7 @@ func (l *L1) onTRPrv(m *network.Msg) {
 func (l *L1) reportMDForPrv(dir network.NodeID, blk memsys.Addr, inL1 bool) {
 	mdR, mdW, sendMD, ok := l.policy.TakeEntry(blk)
 	if ok && sendMD {
-		l.stats.Inc(stats.CtrFSMetadataMsgs)
+		l.stats.IncID(stats.IDFSMetadataMsgs)
 		l.send(&network.Msg{Op: network.OpRepMD, Dst: dir, Addr: blk, MDRead: mdR, MDWrite: mdW, HasCopy: true, Requestor: l.node})
 	} else {
 		l.sendPhantomWithCopy(dir, blk, true)
@@ -1159,8 +1194,8 @@ func (l *L1) reportMDForPrv(dir network.NodeID, blk memsys.Addr, inL1 bool) {
 }
 
 func (l *L1) sendPhantomWithCopy(dir network.NodeID, blk memsys.Addr, hasCopy bool) {
-	l.stats.Inc(stats.CtrFSPhantomMsgs)
-	l.stats.Inc(stats.CtrFSMetadataMsgs)
+	l.stats.IncID(stats.IDFSPhantomMsgs)
+	l.stats.IncID(stats.IDFSMetadataMsgs)
 	l.send(&network.Msg{Op: network.OpMDPhantom, Dst: dir, Addr: blk, HasCopy: hasCopy, Requestor: l.node})
 }
 

@@ -517,6 +517,13 @@ func (d *DirSide) TakeForcedTerminations() []memsys.Addr {
 	return d.sam.takeEvictedPrv()
 }
 
+// PendingForcedTerminations reports how many forced terminations are queued
+// for the next TakeForcedTerminations call (the coherence.ForcedTerminationPeeker
+// extension: the quiescence-skipping engine must not skip past them).
+func (d *DirSide) PendingForcedTerminations() int {
+	return d.sam.pendingEvictedPrv()
+}
+
 // RegisterReduction declares a reduction region (§VII): writes within it are
 // commutative accumulations, so write-write overlap is not true sharing and
 // privatized copies merge by summing per-core deltas.

@@ -237,6 +237,10 @@ func (s *SAM) invalidate(addr memsys.Addr) {
 	delete(s.victims, blk)
 }
 
+// pendingEvictedPrv reports the number of displaced privatized blocks
+// awaiting forced termination, without draining them.
+func (s *SAM) pendingEvictedPrv() int { return len(s.evictedPrv) }
+
 // takeEvictedPrv drains the privatized blocks displaced from the table.
 func (s *SAM) takeEvictedPrv() []memsys.Addr {
 	out := s.evictedPrv

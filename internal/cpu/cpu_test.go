@@ -19,7 +19,6 @@ type rig struct {
 	l1s   []*coherence.L1
 	dir   *coherence.Dir
 	cores []cpu.Core
-	quit  chan struct{}
 	cycle uint64
 }
 
@@ -29,8 +28,7 @@ func newRig(t *testing.T, n int, ooo bool, fns []cpu.ThreadFunc) *rig {
 	p.Slices = 1
 	st := stats.NewSet()
 	r := &rig{t: t, st: st,
-		net:  network.New(p.Nodes(), p.NetLatency, p.BlockSize, st),
-		quit: make(chan struct{}),
+		net: network.New(p.Nodes(), p.NetLatency, p.BlockSize, st),
 	}
 	mem := memsys.NewMemory(p.BlockSize)
 	r.dir = coherence.NewDir(0, p, coherence.Baseline, r.net, mem, nil, st)
@@ -41,9 +39,9 @@ func newRig(t *testing.T, n int, ooo bool, fns []cpu.ThreadFunc) *rig {
 		}
 		r.l1s = append(r.l1s, l1)
 		if ooo {
-			r.cores = append(r.cores, cpu.NewOOO(i, l1, fns[i], r.quit, 8, 64, st))
+			r.cores = append(r.cores, cpu.NewOOO(i, l1, fns[i], 8, 64, st))
 		} else {
-			r.cores = append(r.cores, cpu.NewInOrder(i, l1, fns[i], r.quit, st))
+			r.cores = append(r.cores, cpu.NewInOrder(i, l1, fns[i], st))
 		}
 	}
 	return r
@@ -51,7 +49,11 @@ func newRig(t *testing.T, n int, ooo bool, fns []cpu.ThreadFunc) *rig {
 
 func (r *rig) run(maxCycles int) uint64 {
 	r.t.Helper()
-	defer close(r.quit)
+	defer func() {
+		for _, c := range r.cores {
+			c.Stop()
+		}
+	}()
 	for i := 0; i < maxCycles; i++ {
 		r.cycle++
 		r.net.SetCycle(r.cycle)
@@ -228,10 +230,9 @@ func TestOOOCommitStallAccounting(t *testing.T) {
 	}
 }
 
-func TestThreadAbortOnQuit(t *testing.T) {
-	// A thread blocked mid-handshake must unwind cleanly when the
-	// simulation shuts down early (no goroutine leak, no panic escape).
-	quit := make(chan struct{})
+func TestThreadAbortOnStop(t *testing.T) {
+	// A thread parked mid-handshake must unwind cleanly when the simulation
+	// shuts down early (no goroutine leak, no panic escape).
 	p := coherence.DefaultParams()
 	p.Cores = 1
 	p.Slices = 1
@@ -242,12 +243,13 @@ func TestThreadAbortOnQuit(t *testing.T) {
 		for i := 0; ; i++ {
 			c.Compute(1) // infinite thread
 		}
-	}, quit, st)
+	}, st)
 	for i := uint64(1); i < 100; i++ {
 		net.SetCycle(i)
 		core.Tick(i)
 	}
-	close(quit) // must not deadlock or panic
+	core.Stop() // must not deadlock or panic
+	core.Stop() // idempotent
 	if core.Finished() {
 		t.Fatal("infinite thread cannot be finished")
 	}

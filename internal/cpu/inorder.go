@@ -5,6 +5,11 @@ import (
 	"fscoherence/internal/stats"
 )
 
+// NoEvent is the NextEvent sentinel: the core has no self-driven wake-up and
+// will only act again in response to an external event (a memory completion
+// delivered through its L1).
+const NoEvent = ^uint64(0)
+
 // Core is a processor model driving one L1 controller.
 type Core interface {
 	// Tick advances the core one cycle.
@@ -12,6 +17,21 @@ type Core interface {
 	// Finished reports whether the thread completed and all of the core's
 	// operations retired.
 	Finished() bool
+	// NextEvent returns the earliest cycle > now at which the core might make
+	// progress without external input, or NoEvent if it is blocked waiting on
+	// its L1 (whose completions are covered by the L1's and the network's own
+	// wake-up reports). Returning an earlier cycle than necessary is safe
+	// (the engine just ticks an idle round); later is a correctness bug.
+	NextEvent(now uint64) uint64
+	// SkipIdle accounts for n consecutive cycles the engine fast-forwarded
+	// over: the core must apply exactly the per-cycle bookkeeping (stall
+	// counters) its Tick would have performed in each skipped cycle, so
+	// counter snapshots stay byte-identical to the naive engine.
+	SkipIdle(n uint64)
+	// Stop terminates the core's thread coroutine; a thread parked
+	// mid-operation unwinds cleanly. Must be called when a simulation ends
+	// before its threads finish (deadlock, cycle guard, oracle failure).
+	Stop()
 }
 
 // InOrder is the blocking in-order core of the paper's main configuration:
@@ -27,16 +47,30 @@ type InOrder struct {
 
 	busyUntil uint64
 	waiting   bool // a memory access is outstanding
-	retryOp   *Op  // access rejected by the L1; retry each cycle
+	retry     bool // access rejected by the L1; retry each cycle
 	cur       Op
-	result    uint64
 	haveOp    bool
+
+	// slot is the core's single reusable Access (one operation outstanding
+	// at a time), so the issue path performs no heap allocation.
+	slot *accessSlot
 }
 
 // NewInOrder builds an in-order core running fn.
-func NewInOrder(id int, l1 *coherence.L1, fn ThreadFunc, quit chan struct{}, st *stats.Set) *InOrder {
-	return &InOrder{id: id, l1: l1, runner: startThread(id, fn, quit), stats: st}
+func NewInOrder(id int, l1 *coherence.L1, fn ThreadFunc, st *stats.Set) *InOrder {
+	c := &InOrder{id: id, l1: l1, runner: startThread(id, fn), stats: st}
+	c.slot = newAccessSlot(c.finish)
+	return c
 }
+
+// finish completes the outstanding access, unblocking the thread.
+func (c *InOrder) finish(v uint64, _ *accessSlot) {
+	c.waiting = false
+	c.runner.complete(v)
+}
+
+// Stop terminates the thread coroutine (idempotent).
+func (c *InOrder) Stop() { c.runner.stop() }
 
 // Finished reports thread completion.
 func (c *InOrder) Finished() bool {
@@ -52,9 +86,9 @@ func (c *InOrder) Tick(now uint64) {
 		return // computing
 	}
 	if c.waiting {
-		c.stats.Inc(stats.CtrStallCycles)
-		if c.retryOp != nil {
-			c.issue(now, *c.retryOp)
+		c.stats.IncID(stats.IDStallCycles)
+		if c.retry {
+			c.retry = c.l1.Submit(&c.slot.acc) == coherence.SubmitRetry
 		}
 		return
 	}
@@ -65,15 +99,44 @@ func (c *InOrder) Tick(now uint64) {
 	}
 	op := c.cur
 	c.haveOp = false
-	c.stats.Inc(stats.CtrOpsCommitted)
+	c.stats.IncID(stats.IDOpsCommitted)
 	switch op.Kind {
 	case OpCompute:
-		c.stats.Add(stats.CtrComputeCycles, op.Cycles)
+		c.stats.AddID(stats.IDComputeCycles, op.Cycles)
 		c.busyUntil = now + op.Cycles
 		c.runner.complete(0)
 	default:
 		c.waiting = true
-		c.issue(now, op)
+		c.retry = c.l1.Submit(c.slot.prepare(op)) == coherence.SubmitRetry
+	}
+}
+
+// NextEvent reports the in-order core's wake-up: the end of the current
+// compute burst, the next cycle when an operation is ready to execute, or
+// NoEvent while a memory access is outstanding. A rejected access (retry)
+// also reports NoEvent: the L1 rejection can only clear in response to an
+// external completion, and the per-cycle retry has no architectural or
+// counter side effects until then.
+func (c *InOrder) NextEvent(now uint64) uint64 {
+	if c.Finished() {
+		return NoEvent
+	}
+	if c.busyUntil > now {
+		return c.busyUntil
+	}
+	if c.waiting {
+		return NoEvent
+	}
+	return now + 1
+}
+
+// SkipIdle applies the stall accounting of n skipped cycles. The engine only
+// skips cycles in which Tick would have made no progress, so the naive loop
+// would have counted one memory-stall cycle per skipped cycle iff an access
+// was outstanding (a compute burst early-returns without counting).
+func (c *InOrder) SkipIdle(n uint64) {
+	if c.waiting {
+		c.stats.AddID(stats.IDStallCycles, n)
 	}
 }
 
@@ -90,58 +153,4 @@ func (c *InOrder) fetch() bool {
 	c.cur = op
 	c.haveOp = true
 	return true
-}
-
-// issue submits a memory operation to the L1, handling rejection by retrying
-// next cycle.
-func (c *InOrder) issue(now uint64, op Op) {
-	acc := buildAccess(op, func(v uint64) {
-		c.waiting = false
-		c.runner.complete(v)
-	})
-	res := c.l1.Submit(acc)
-	if res == coherence.SubmitRetry {
-		o := op
-		c.retryOp = &o
-		return
-	}
-	c.retryOp = nil
-}
-
-// buildAccess converts an Op into a coherence.Access whose Done callback
-// invokes fin with the (decoded) result value.
-func buildAccess(op Op, fin func(uint64)) *coherence.Access {
-	switch op.Kind {
-	case OpLoad:
-		return &coherence.Access{
-			Kind: coherence.AccessLoad, Addr: op.Addr, Size: op.Size,
-			Done: func(v []byte) { fin(decodeLE(v)) },
-		}
-	case OpStore:
-		return &coherence.Access{
-			Kind: coherence.AccessStore, Addr: op.Addr, Size: op.Size,
-			StoreData: encodeLE(op.Value, op.Size),
-			Done:      func([]byte) { fin(0) },
-		}
-	case OpAtomic:
-		fn := op.Fn
-		size := op.Size
-		return &coherence.Access{
-			Kind: coherence.AccessAtomicRMW, Addr: op.Addr, Size: op.Size,
-			RMW:  func(old []byte) []byte { return encodeLE(fn(decodeLE(old)), size) },
-			Done: func(v []byte) { fin(decodeLE(v)) },
-		}
-	case OpPrefetch:
-		return &coherence.Access{
-			Kind: coherence.AccessPrefetch, Addr: op.Addr,
-			Done: func([]byte) { fin(0) },
-		}
-	case OpReduce:
-		return &coherence.Access{
-			Kind: coherence.AccessReduce, Addr: op.Addr, Size: op.Size,
-			Delta: op.Value,
-			Done:  func([]byte) { fin(0) },
-		}
-	}
-	panic("cpu: bad op kind for access")
 }

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"iter"
 
 	"fscoherence/internal/memsys"
 )
@@ -11,17 +12,24 @@ import (
 // is accepted or completed by the core model.
 type ThreadFunc func(ctx *Ctx)
 
-// threadAborted is panicked inside a thread goroutine when the simulation
-// shuts down early; the runner recovers it.
+// threadAborted is panicked inside a thread coroutine when the simulation
+// shuts down early; the coroutine wrapper recovers it.
 type threadAborted struct{}
 
 // Ctx is a simulated thread's handle to its core. Its methods may only be
-// called from the ThreadFunc goroutine.
+// called from the ThreadFunc.
+//
+// The handshake is a coroutine switch, not a channel handoff: do() yields the
+// operation to the core model, which runs the thread's continuation (via
+// threadRunner.next) only when it wants the next operation, after recording
+// the previous result in res. Each simulated operation therefore costs two
+// in-place stack switches instead of two scheduler round trips — the
+// difference is the bulk of the simulator's wall-clock time on handshake-bound
+// workloads.
 type Ctx struct {
 	id    int
-	opCh  chan Op
-	resCh chan uint64
-	quit  chan struct{}
+	yield func(Op) bool
+	res   uint64
 }
 
 // ID returns the thread's (== core's) index.
@@ -29,17 +37,11 @@ func (c *Ctx) ID() int { return c.id }
 
 // do performs the synchronous handshake for one operation.
 func (c *Ctx) do(op Op) uint64 {
-	select {
-	case c.opCh <- op:
-	case <-c.quit:
+	if !c.yield(op) {
+		// The core stopped the coroutine: unwind the thread function.
 		panic(threadAborted{})
 	}
-	select {
-	case v := <-c.resCh:
-		return v
-	case <-c.quit:
-		panic(threadAborted{})
-	}
+	return c.res
 }
 
 func checkSize(size int) {
@@ -167,43 +169,54 @@ func (b *Barrier) Wait(c *Ctx, localSense *uint64) {
 	}
 }
 
-// threadRunner owns the goroutine side of one thread.
+// threadRunner owns the coroutine side of one thread. next, complete and stop
+// may only be called from the simulation goroutine (iter.Pull's next/stop are
+// not reentrant), which is also the discipline the core models follow.
 type threadRunner struct {
-	ctx  *Ctx
-	done chan struct{}
+	ctx     *Ctx
+	nextOp  func() (Op, bool)
+	stopFn  func()
+	stopped bool
 }
 
-// startThread launches fn as a simulated thread for core id.
-func startThread(id int, fn ThreadFunc, quit chan struct{}) *threadRunner {
-	r := &threadRunner{
-		ctx:  &Ctx{id: id, opCh: make(chan Op), resCh: make(chan uint64), quit: quit},
-		done: make(chan struct{}),
-	}
-	go func() {
-		defer close(r.done)
-		defer close(r.ctx.opCh)
+// startThread builds the coroutine running fn as a simulated thread for core
+// id. The thread body does not start executing until the first next() call.
+func startThread(id int, fn ThreadFunc) *threadRunner {
+	ctx := &Ctx{id: id}
+	next, stop := iter.Pull(func(yield func(Op) bool) {
+		ctx.yield = yield
 		defer func() {
-			if rec := recover(); rec != nil {
-				if _, ok := rec.(threadAborted); ok {
+			if r := recover(); r != nil {
+				if _, ok := r.(threadAborted); ok {
 					return // simulation shut down early
 				}
-				panic(rec)
+				panic(r)
 			}
 		}()
-		fn(r.ctx)
-	}()
-	return r
+		fn(ctx)
+	})
+	return &threadRunner{ctx: ctx, nextOp: next, stopFn: stop}
 }
 
-// next fetches the thread's next operation; ok is false once the thread
-// function returned.
+// next resumes the thread and fetches its next operation; ok is false once
+// the thread function returned (or the runner was stopped).
 func (r *threadRunner) next() (Op, bool) {
-	op, ok := <-r.ctx.opCh
-	return op, ok
+	return r.nextOp()
 }
 
-// complete delivers the result of the previous operation, unblocking the
-// thread.
+// complete records the result of the previous operation; the thread observes
+// it when next() resumes it.
 func (r *threadRunner) complete(v uint64) {
-	r.ctx.resCh <- v
+	r.ctx.res = v
+}
+
+// stop terminates the thread coroutine: a thread parked mid-operation unwinds
+// via threadAborted, releasing its goroutine. Idempotent; must be called from
+// the simulation goroutine like next.
+func (r *threadRunner) stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	r.stopFn()
 }

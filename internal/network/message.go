@@ -206,7 +206,26 @@ type Msg struct {
 	// Seq is a network-assigned sequence number (deterministic tiebreak and
 	// debugging aid).
 	Seq uint64
+
+	// retained marks a message a handler stored for later re-dispatch
+	// (directory pending/retry queues, L1 deferral buffers, transaction held
+	// requests): the dispatch loop's Release after handling becomes a no-op,
+	// and the holder releases it after the eventual re-dispatch instead.
+	// pooled guards against double release. Both are simulator-internal
+	// lifecycle bits, invisible on the wire.
+	retained bool
+	pooled   bool
 }
+
+// Retain marks m as held beyond the current dispatch: Network.Release will
+// not recycle it until Unretain is called. A message has exactly one holder
+// at a time (one pending queue, one deferral buffer, or one transaction), so
+// a boolean rather than a refcount suffices.
+func (m *Msg) Retain() { m.retained = true }
+
+// Unretain clears the hold before a held message is re-dispatched; the
+// re-dispatcher releases it afterwards (unless a handler retained it again).
+func (m *Msg) Unretain() { m.retained = false }
 
 func (m *Msg) String() string {
 	return fmt.Sprintf("%v %d->%d %v req=%d acks=%d md=%v touch=[%d,+%d)",

@@ -7,16 +7,96 @@ import (
 	"fscoherence/internal/stats"
 )
 
+// NoArrival is the NextArrival sentinel: no message is queued anywhere.
+const NoArrival = ^uint64(0)
+
 // inflight pairs a queued message with the cycle it becomes deliverable.
 type inflight struct {
 	msg     *Msg
 	readyAt uint64
 }
 
+// inbox is a growable ring buffer of inflight messages ordered by (readyAt,
+// insertion order). Unlike the earlier slice-with-reslice implementation,
+// popping the front clears the slot, so a drained inbox retains no message
+// references in its backing array.
+type inbox struct {
+	buf  []inflight // power-of-two capacity ring
+	head int
+	n    int
+}
+
+func (b *inbox) grow() {
+	c := len(b.buf) * 2
+	if c == 0 {
+		c = 16
+	}
+	nb := make([]inflight, c)
+	for i := 0; i < b.n; i++ {
+		nb[i] = b.buf[(b.head+i)&(len(b.buf)-1)]
+	}
+	b.buf = nb
+	b.head = 0
+}
+
+// push inserts inf keeping the ring sorted by readyAt, stable for equal
+// readyAt (the new message goes after existing ones). Messages almost always
+// arrive in readyAt order, so the backwards shift is O(1) amortized.
+func (b *inbox) push(inf inflight) {
+	if b.n == len(b.buf) {
+		b.grow()
+	}
+	mask := len(b.buf) - 1
+	i := b.head + b.n // absolute slot for the new element
+	for i > b.head && b.buf[(i-1)&mask].readyAt > inf.readyAt {
+		b.buf[i&mask] = b.buf[(i-1)&mask]
+		i--
+	}
+	b.buf[i&mask] = inf
+	b.n++
+}
+
+// front returns the earliest-ready element without removing it.
+func (b *inbox) front() *inflight {
+	return &b.buf[b.head&(len(b.buf)-1)]
+}
+
+// pop removes and returns the earliest-ready message, clearing the slot so
+// the ring holds no stale reference.
+func (b *inbox) pop() *Msg {
+	slot := &b.buf[b.head&(len(b.buf)-1)]
+	m := slot.msg
+	slot.msg = nil
+	b.head++
+	b.n--
+	if b.n == 0 {
+		b.head = 0
+	}
+	return m
+}
+
 // chanKey identifies one ordered virtual channel.
 type chanKey struct {
 	src, dst NodeID
 	class    Class
+}
+
+// Interned per-class and per-opcode counter keys: the "net.msg." + class
+// concatenations used to allocate on every Send.
+var (
+	msgClassKey  [classCount]string
+	byteClassKey [classCount]string
+	opKey        [opCount]string
+)
+
+func init() {
+	for c := Class(0); c < classCount; c++ {
+		msgClassKey[c] = "net.msg." + c.String()
+		byteClassKey[c] = "net.bytes." + c.String()
+	}
+	for op := Op(0); op < opCount; op++ {
+		opKey[op] = "net.op." + op.String()
+	}
 }
 
 // Network is a deterministic fixed-latency interconnect. Each destination has
@@ -27,7 +107,7 @@ type chanKey struct {
 type Network struct {
 	Latency uint64 // cycles per traversal
 	nodes   int
-	inboxes [][]inflight // per destination, readyAt non-decreasing
+	inboxes []inbox // per destination, ordered by readyAt
 	seq     uint64
 	now     uint64
 	stats   *stats.Set
@@ -46,7 +126,9 @@ type Network struct {
 	tracer *obs.Tracer
 	cores  int
 
-	inflightNow int // messages currently queued (for the peak counter)
+	inflightNow int // messages currently queued (Pending, peak counter)
+
+	free []*Msg // Msg freelist (NewMsg / Release)
 }
 
 // New builds a network with the given number of nodes, per-traversal latency
@@ -55,11 +137,41 @@ func New(nodes int, latency uint64, blockSize int, st *stats.Set) *Network {
 	return &Network{
 		Latency:   latency,
 		nodes:     nodes,
-		inboxes:   make([][]inflight, nodes),
+		inboxes:   make([]inbox, nodes),
 		stats:     st,
 		bs:        blockSize,
 		lastReady: make(map[chanKey]uint64),
 	}
+}
+
+// NewMsg returns a zeroed message from the freelist (or a fresh allocation).
+// Callers populate it and hand it to Send; the receiver's dispatch loop
+// recycles it via Release once no handler retains it.
+func (n *Network) NewMsg() *Msg {
+	if k := len(n.free); k > 0 {
+		m := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		m.pooled = false
+		return m
+	}
+	return new(Msg)
+}
+
+// Release returns a delivered message to the freelist. It is a no-op for nil
+// or retained messages, so dispatch loops can call it unconditionally after
+// handling. Payload slices are not recycled — handlers may alias Msg.Data
+// into cache lines; only the struct is reused.
+func (n *Network) Release(m *Msg) {
+	if m == nil || m.retained {
+		return
+	}
+	if m.pooled {
+		panic("network: double release of a pooled message")
+	}
+	*m = Msg{}
+	m.pooled = true
+	n.free = append(n.free, m)
 }
 
 // SetTracer attaches the unified event tracer. cores is the number of core
@@ -102,28 +214,24 @@ func (n *Network) SendAfter(m *Msg, extra uint64) {
 	}
 	n.seq++
 	m.Seq = n.seq
-	serialization := uint64((SizeOf(m.Op, n.bs) - HeaderBytes) / 16)
+	class := ClassOf(m.Op)
+	size := SizeOf(m.Op, n.bs)
+	serialization := uint64((size - HeaderBytes) / 16)
 	readyAt := n.now + n.Latency + extra + serialization
-	key := chanKey{src: m.Src, dst: m.Dst, class: ClassOf(m.Op)}
+	key := chanKey{src: m.Src, dst: m.Dst, class: class}
 	if prev := n.lastReady[key]; readyAt < prev {
 		readyAt = prev
 	}
 	n.lastReady[key] = readyAt
-	q := n.inboxes[m.Dst]
-	q = append(q, inflight{msg: m, readyAt: readyAt})
-	// Keep the inbox sorted by (readyAt, seq): stable insertion from the back.
-	for i := len(q) - 1; i > 0 && q[i-1].readyAt > q[i].readyAt; i-- {
-		q[i-1], q[i] = q[i], q[i-1]
-	}
-	n.inboxes[m.Dst] = q
+	n.inboxes[m.Dst].push(inflight{msg: m, readyAt: readyAt})
 
-	n.stats.Inc(stats.CtrNetMessages)
-	n.stats.Add(stats.CtrNetBytes, uint64(SizeOf(m.Op, n.bs)))
-	n.stats.Inc("net.msg." + ClassOf(m.Op).String())
-	n.stats.Add("net.bytes."+ClassOf(m.Op).String(), uint64(SizeOf(m.Op, n.bs)))
-	n.stats.Inc("net.op." + m.Op.String())
+	n.stats.IncID(stats.IDNetMessages)
+	n.stats.AddID(stats.IDNetBytes, uint64(size))
+	n.stats.Inc(msgClassKey[class])
+	n.stats.Add(byteClassKey[class], uint64(size))
+	n.stats.Inc(opKey[m.Op])
 	n.inflightNow++
-	n.stats.Max(stats.CtrNetInflightPeak, uint64(n.inflightNow))
+	n.stats.MaxID(stats.IDNetInflightPeak, uint64(n.inflightNow))
 	if t := n.tracer; t != nil {
 		core, slice := n.nodeTrack(m.Src)
 		t.Emit(obs.Event{
@@ -138,12 +246,11 @@ func (n *Network) SendAfter(m *Msg, extra uint64) {
 // or returns nil if none is ready. Messages are delivered strictly in send
 // order per destination.
 func (n *Network) Recv(dst NodeID) *Msg {
-	q := n.inboxes[dst]
-	if len(q) == 0 || q[0].readyAt > n.now {
+	q := &n.inboxes[dst]
+	if q.n == 0 || q.front().readyAt > n.now {
 		return nil
 	}
-	m := q[0].msg
-	n.inboxes[dst] = q[1:]
+	m := q.pop()
 	n.inflightNow--
 	if t := n.tracer; t != nil {
 		core, slice := n.nodeTrack(dst)
@@ -159,21 +266,36 @@ func (n *Network) Recv(dst NodeID) *Msg {
 // Peek returns the next deliverable message for dst without removing it, or
 // nil if none is ready this cycle.
 func (n *Network) Peek(dst NodeID) *Msg {
-	q := n.inboxes[dst]
-	if len(q) == 0 || q[0].readyAt > n.now {
+	q := &n.inboxes[dst]
+	if q.n == 0 || q.front().readyAt > n.now {
 		return nil
 	}
-	return q[0].msg
+	return q.front().msg
 }
 
 // Pending returns the total number of in-flight messages (delivered or not).
-func (n *Network) Pending() int {
-	total := 0
-	for _, q := range n.inboxes {
-		total += len(q)
-	}
-	return total
-}
+// It is the maintained count, O(1); TestPendingMatchesScan pins it to the
+// per-inbox scan it replaced.
+func (n *Network) Pending() int { return n.inflightNow }
 
 // PendingFor returns the number of queued messages for one destination.
-func (n *Network) PendingFor(dst NodeID) int { return len(n.inboxes[dst]) }
+func (n *Network) PendingFor(dst NodeID) int { return n.inboxes[dst].n }
+
+// NextArrival returns the earliest cycle at which any queued message becomes
+// deliverable, or NoArrival when nothing is in flight. A value at or before
+// the current cycle means messages are already deliverable (e.g. left over
+// from a MaxMsgsPerCycle-capped tick). The quiescence-skipping engine uses
+// this as the network's wake-up report.
+func (n *Network) NextArrival() uint64 {
+	next := uint64(NoArrival)
+	for i := range n.inboxes {
+		q := &n.inboxes[i]
+		if q.n == 0 {
+			continue
+		}
+		if r := q.front().readyAt; r < next {
+			next = r
+		}
+	}
+	return next
+}

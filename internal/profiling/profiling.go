@@ -1,0 +1,75 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile pprof
+// flags into the commands (cmd/fsexp, cmd/fsrun). Inspect the outputs with
+// `go tool pprof <binary> <file>`.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by AddFlags.
+type Flags struct {
+	cpu string
+	mem string
+
+	cpuFile *os.File
+	stopped bool
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default FlagSet.
+// Call before flag.Parse.
+func AddFlags() *Flags {
+	p := &Flags{}
+	flag.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	flag.StringVar(&p.mem, "memprofile", "", "write an allocation profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling if requested. Call after flag.Parse.
+func (p *Flags) Start() error {
+	if p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("start cpu profile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile. Idempotent, so
+// it can run both deferred and explicitly before an early os.Exit.
+func (p *Flags) Stop() error {
+	if p.stopped {
+		return nil
+	}
+	p.stopped = true
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write heap profile: %w", err)
+		}
+		return f.Close()
+	}
+	return nil
+}

@@ -17,10 +17,31 @@ import (
 	"fscoherence/internal/stats"
 )
 
+// Engine selects the simulation loop strategy. Both engines are cycle-exact:
+// they produce byte-identical results (cycle counts, counter snapshots,
+// traces, detections) for the same configuration and workload.
+type Engine int
+
+const (
+	// EngineSkip, the default, is the quiescence-skipping engine: when a tick
+	// round leaves nothing to do until some future cycle, the loop fast-
+	// forwards to that cycle instead of ticking idle rounds. Components report
+	// their earliest wake-up (NextEvent / NextArrival) and compensate skipped
+	// per-cycle bookkeeping via SkipIdle, so the skip is invisible.
+	EngineSkip Engine = iota
+
+	// EngineNaive ticks every component on every cycle — the reference loop
+	// the skipping engine is proven against (see TestEngineEquivalence).
+	EngineNaive
+)
+
 // Config describes one simulation run.
 type Config struct {
 	Params coherence.Params
 	Mode   coherence.Protocol
+
+	// Engine selects the simulation loop (default EngineSkip).
+	Engine Engine
 
 	// Core holds the FSDetect/FSLite tunables; ignored in Baseline mode.
 	// Cores/BlockSize/Mode are filled in from Params automatically.
@@ -101,7 +122,6 @@ type System struct {
 	dirs   []*coherence.Dir
 	cores  []cpu.Core
 	oracle *memsys.Oracle
-	quit   chan struct{}
 	cycle  uint64
 
 	dirPolicies []*core.DirSide
@@ -202,7 +222,6 @@ func New(cfg Config, wl Workload) *System {
 		stats:   st,
 		net:     network.New(p.Nodes(), p.NetLatency, p.BlockSize, st),
 		mem:     memsys.NewMemory(p.BlockSize),
-		quit:    make(chan struct{}),
 		tracer:  cfg.Obs.GetTracer(),
 		metrics: cfg.Obs.GetMetrics(),
 	}
@@ -257,9 +276,9 @@ func New(cfg Config, wl Workload) *System {
 			fn = func(*cpu.Ctx) {}
 		}
 		if cfg.OOO {
-			s.cores = append(s.cores, cpu.NewOOO(i, s.l1s[i], fn, s.quit, cfg.OOOWidth, cfg.ROBSize, st))
+			s.cores = append(s.cores, cpu.NewOOO(i, s.l1s[i], fn, cfg.OOOWidth, cfg.ROBSize, st))
 		} else {
-			s.cores = append(s.cores, cpu.NewInOrder(i, s.l1s[i], fn, s.quit, st))
+			s.cores = append(s.cores, cpu.NewInOrder(i, s.l1s[i], fn, st))
 		}
 	}
 	return s
@@ -297,7 +316,13 @@ func (s *System) DumpState() string {
 
 // Run executes the simulation to completion.
 func (s *System) Run(name string) (*Result, error) {
-	defer close(s.quit)
+	// Terminate thread coroutines parked mid-operation if the run ends early
+	// (deadlock, cycle guard); finished threads make this a no-op.
+	defer func() {
+		for _, c := range s.cores {
+			c.Stop()
+		}
+	}()
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 500_000_000
@@ -307,30 +332,15 @@ func (s *System) Run(name string) (*Result, error) {
 		if s.cycle > maxCycles {
 			return nil, fmt.Errorf("%w at cycle %d (%s)", ErrDeadlock, s.cycle, name)
 		}
-		s.net.SetCycle(s.cycle)
-		if s.cycleHook != nil {
-			s.cycleHook(s.cycle)
-		}
-		for _, d := range s.dirs {
-			d.Tick(s.cycle)
-		}
-		for _, l := range s.l1s {
-			l.Tick(s.cycle)
-		}
-		for _, c := range s.cores {
-			c.Tick(s.cycle)
-		}
-		if s.cfg.CheckSWMR && s.cycle%s.cfg.SWMRPeriod == 0 {
-			s.checkSWMR()
-		}
-		if m := s.metrics; m != nil && s.cycle%m.Interval == 0 {
-			m.Sample(s.cycle, s.stats.Snapshot())
-		}
+		s.stepCycle()
 		if s.done() {
 			break
 		}
+		if s.cfg.Engine == EngineSkip {
+			s.skipAhead(maxCycles)
+		}
 	}
-	s.stats.Set(stats.CtrCycles, s.cycle)
+	s.stats.SetID(stats.IDCycles, s.cycle)
 	// Close out observability: privatized episodes still open at the end of
 	// the run emit their terminate event, then a final metrics sample
 	// captures the run's closing counter values.
@@ -355,6 +365,89 @@ func (s *System) Run(name string) (*Result, error) {
 	}
 	res.SWMRViolations = s.swmrBad
 	return res, nil
+}
+
+// stepCycle runs one full simulation cycle: the per-cycle hook, every
+// component's Tick in deterministic order, then the cycle-boundary work
+// (SWMR scan, metrics sample).
+func (s *System) stepCycle() {
+	s.net.SetCycle(s.cycle)
+	if s.cycleHook != nil {
+		s.cycleHook(s.cycle)
+	}
+	for _, d := range s.dirs {
+		d.Tick(s.cycle)
+	}
+	for _, l := range s.l1s {
+		l.Tick(s.cycle)
+	}
+	for _, c := range s.cores {
+		c.Tick(s.cycle)
+	}
+	if s.cfg.CheckSWMR && s.cycle%s.cfg.SWMRPeriod == 0 {
+		s.checkSWMR()
+	}
+	if m := s.metrics; m != nil && s.cycle%m.Interval == 0 {
+		m.Sample(s.cycle, s.stats.Snapshot())
+	}
+}
+
+// skipAhead fast-forwards s.cycle over cycles in which no component can make
+// progress. It advances to one cycle before the earliest reported wake-up —
+// clamped so that SWMR-check and metrics-sampling boundary cycles are still
+// stepped (their output embeds cycle numbers, and byte-identical output across
+// engines is the contract) and so the MaxCycles deadlock error fires at the
+// same cycle as under the naive loop. Cores compensate per-cycle stall
+// counters for the skipped span via SkipIdle. A registered cycle hook
+// disables skipping entirely: the hook must observe every cycle.
+func (s *System) skipAhead(maxCycles uint64) {
+	if s.cycleHook != nil {
+		return
+	}
+	now := s.cycle
+	wake := s.net.NextArrival()
+	for _, d := range s.dirs {
+		if w := d.NextEvent(now); w < wake {
+			wake = w
+		}
+	}
+	for _, l := range s.l1s {
+		if w := l.NextEvent(now); w < wake {
+			wake = w
+		}
+	}
+	for _, c := range s.cores {
+		if w := c.NextEvent(now); w < wake {
+			wake = w
+		}
+	}
+	if wake <= now+1 {
+		return // the very next cycle has (potential) work
+	}
+	// done() just returned false, so an all-NoEvent round means deadlock:
+	// aim at maxCycles and let the loop trip the identical ErrDeadlock.
+	target := maxCycles
+	if wake != coherence.NoEvent && wake-1 < target {
+		target = wake - 1 // last fully idle cycle before the wake-up
+	}
+	if s.cfg.CheckSWMR {
+		if b := now - now%s.cfg.SWMRPeriod + s.cfg.SWMRPeriod; b-1 < target {
+			target = b - 1
+		}
+	}
+	if m := s.metrics; m != nil {
+		if b := now - now%m.Interval + m.Interval; b-1 < target {
+			target = b - 1
+		}
+	}
+	if target <= now {
+		return
+	}
+	delta := target - now
+	for _, c := range s.cores {
+		c.SkipIdle(delta)
+	}
+	s.cycle = target
 }
 
 // done reports whether every thread finished and the system quiesced.

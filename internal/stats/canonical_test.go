@@ -105,6 +105,7 @@ var ctrValueByIdent = map[string]string{
 	"CtrLoadsCommitted":    CtrLoadsCommitted,
 	"CtrStoresCommit":      CtrStoresCommit,
 	"CtrAtomicsCommit":     CtrAtomicsCommit,
+	"CtrReducesCommit":     CtrReducesCommit,
 	"CtrComputeCycles":     CtrComputeCycles,
 	"CtrStallCycles":       CtrStallCycles,
 	"CtrCommitStalls":      CtrCommitStalls,

@@ -4,6 +4,13 @@
 // through a shared *Set. Counters are plain uint64 values: the simulator is
 // single-threaded by design, so no synchronization is needed, and snapshots
 // are fully deterministic for a given configuration and workload seed.
+//
+// Canonical counters (the Ctr* constants below) are stored in index-addressed
+// slots: hot components address them by ID (the ID constants) with a plain
+// array access, no hashing and no allocation. The string map remains for
+// long-tail ad hoc counters (per-opcode network breakdowns, rarely-hit debug
+// counters); the string-keyed methods transparently route canonical names to
+// their slots, so callers never observe the split.
 package stats
 
 import (
@@ -12,11 +19,153 @@ import (
 	"strings"
 )
 
+// ID addresses one canonical counter slot. The zero-allocation hot paths in
+// network, coherence and cpu use IDs directly (IncID/AddID/MaxID); IDFor maps
+// a canonical name to its ID for code that starts from a string.
+type ID uint8
+
+// Canonical counter IDs, one per Ctr* constant (same order).
+const (
+	IDL1DAccesses ID = iota
+	IDL1DHits
+	IDL1DMisses
+	IDL1DFills
+	IDL1DEvicts
+	IDL1DWbDirty
+	IDLLCAccesses
+	IDLLCHits
+	IDLLCMisses
+	IDLLCFills
+	IDLLCEvicts
+	IDDirInval
+	IDDirInterv
+	IDDirFetchReq
+	IDDirPendingQ
+	IDMemReads
+	IDMemWrites
+	IDNetMessages
+	IDNetBytes
+	IDNetInflightPeak
+	IDDirPendqPeak
+	IDFSDetected
+	IDFSPrivatized
+	IDFSPrivAborted
+	IDFSTerminations
+	IDFSTermConflict
+	IDFSTermEviction
+	IDFSTermSAMEvict
+	IDFSTermExternal
+	IDFSChkRequests
+	IDFSMetadataMsgs
+	IDFSPhantomMsgs
+	IDFSTrueSharing
+	IDFSMetadataResets
+	IDFSHysteresisBlock
+	IDFSContended
+	IDSAMReplacements
+	IDSAMLookups
+	IDPAMUpdates
+	IDOpsCommitted
+	IDLoadsCommitted
+	IDStoresCommit
+	IDAtomicsCommit
+	IDReducesCommit
+	IDComputeCycles
+	IDStallCycles
+	IDCommitStalls
+	IDCycles
+
+	// NumIDs is the number of canonical counter slots.
+	NumIDs
+)
+
+// idNames maps each ID to its canonical counter name.
+var idNames = [NumIDs]string{
+	IDL1DAccesses:       CtrL1DAccesses,
+	IDL1DHits:           CtrL1DHits,
+	IDL1DMisses:         CtrL1DMisses,
+	IDL1DFills:          CtrL1DFills,
+	IDL1DEvicts:         CtrL1DEvicts,
+	IDL1DWbDirty:        CtrL1DWbDirty,
+	IDLLCAccesses:       CtrLLCAccesses,
+	IDLLCHits:           CtrLLCHits,
+	IDLLCMisses:         CtrLLCMisses,
+	IDLLCFills:          CtrLLCFills,
+	IDLLCEvicts:         CtrLLCEvicts,
+	IDDirInval:          CtrDirInval,
+	IDDirInterv:         CtrDirInterv,
+	IDDirFetchReq:       CtrDirFetchReq,
+	IDDirPendingQ:       CtrDirPendingQ,
+	IDMemReads:          CtrMemReads,
+	IDMemWrites:         CtrMemWrites,
+	IDNetMessages:       CtrNetMessages,
+	IDNetBytes:          CtrNetBytes,
+	IDNetInflightPeak:   CtrNetInflightPeak,
+	IDDirPendqPeak:      CtrDirPendqPeak,
+	IDFSDetected:        CtrFSDetected,
+	IDFSPrivatized:      CtrFSPrivatized,
+	IDFSPrivAborted:     CtrFSPrivAborted,
+	IDFSTerminations:    CtrFSTerminations,
+	IDFSTermConflict:    CtrFSTermConflict,
+	IDFSTermEviction:    CtrFSTermEviction,
+	IDFSTermSAMEvict:    CtrFSTermSAMEvict,
+	IDFSTermExternal:    CtrFSTermExternal,
+	IDFSChkRequests:     CtrFSChkRequests,
+	IDFSMetadataMsgs:    CtrFSMetadataMsgs,
+	IDFSPhantomMsgs:     CtrFSPhantomMsgs,
+	IDFSTrueSharing:     CtrFSTrueSharing,
+	IDFSMetadataResets:  CtrFSMetadataResets,
+	IDFSHysteresisBlock: CtrFSHysteresisBlock,
+	IDFSContended:       CtrFSContended,
+	IDSAMReplacements:   CtrSAMReplacements,
+	IDSAMLookups:        CtrSAMLookups,
+	IDPAMUpdates:        CtrPAMUpdates,
+	IDOpsCommitted:      CtrOpsCommitted,
+	IDLoadsCommitted:    CtrLoadsCommitted,
+	IDStoresCommit:      CtrStoresCommit,
+	IDAtomicsCommit:     CtrAtomicsCommit,
+	IDReducesCommit:     CtrReducesCommit,
+	IDComputeCycles:     CtrComputeCycles,
+	IDStallCycles:       CtrStallCycles,
+	IDCommitStalls:      CtrCommitStalls,
+	IDCycles:            CtrCycles,
+}
+
+var (
+	idByName = make(map[string]ID, NumIDs)
+	idPeak   [NumIDs]bool
+)
+
+func init() {
+	for id := ID(0); id < NumIDs; id++ {
+		if idNames[id] == "" {
+			panic(fmt.Sprintf("stats: ID %d has no canonical name", id))
+		}
+		idByName[idNames[id]] = id
+		idPeak[id] = IsPeak(idNames[id])
+	}
+}
+
+// IDFor returns the slot ID for a canonical counter name.
+func IDFor(name string) (ID, bool) {
+	id, ok := idByName[name]
+	return id, ok
+}
+
+// Name returns the canonical counter name for a slot ID.
+func (id ID) Name() string { return idNames[id] }
+
 // Set is a collection of named counters.
 //
 // The zero value is not usable; construct with NewSet.
 type Set struct {
-	counters map[string]uint64
+	// slots holds the canonical counters; present tracks which have been
+	// touched, preserving the map semantics of "only counters that were
+	// written appear in Snapshot/Names".
+	slots   [NumIDs]uint64
+	present [NumIDs]bool
+
+	counters map[string]uint64 // long-tail (non-canonical) counters
 }
 
 // NewSet returns an empty counter set.
@@ -24,28 +173,77 @@ func NewSet() *Set {
 	return &Set{counters: make(map[string]uint64)}
 }
 
+// AddID increments canonical counter id by delta.
+func (s *Set) AddID(id ID, delta uint64) {
+	s.slots[id] += delta
+	s.present[id] = true
+}
+
+// IncID increments canonical counter id by one.
+func (s *Set) IncID(id ID) {
+	s.slots[id]++
+	s.present[id] = true
+}
+
+// GetID returns the current value of canonical counter id.
+func (s *Set) GetID(id ID) uint64 { return s.slots[id] }
+
+// SetID stores an absolute value for canonical counter id.
+func (s *Set) SetID(id ID, v uint64) {
+	s.slots[id] = v
+	s.present[id] = true
+}
+
+// MaxID raises canonical counter id to v if v is larger than the current
+// value. Like Max, a zero observation on an untouched counter leaves no trace.
+func (s *Set) MaxID(id ID, v uint64) {
+	if v > s.slots[id] {
+		s.slots[id] = v
+		s.present[id] = true
+	}
+}
+
 // Add increments counter name by delta.
 func (s *Set) Add(name string, delta uint64) {
+	if id, ok := idByName[name]; ok {
+		s.AddID(id, delta)
+		return
+	}
 	s.counters[name] += delta
 }
 
 // Inc increments counter name by one.
 func (s *Set) Inc(name string) {
+	if id, ok := idByName[name]; ok {
+		s.IncID(id)
+		return
+	}
 	s.counters[name]++
 }
 
 // Get returns the current value of counter name (zero if never incremented).
 func (s *Set) Get(name string) uint64 {
+	if id, ok := idByName[name]; ok {
+		return s.slots[id]
+	}
 	return s.counters[name]
 }
 
 // Set stores an absolute value for counter name, replacing any prior value.
 func (s *Set) Set(name string, v uint64) {
+	if id, ok := idByName[name]; ok {
+		s.SetID(id, v)
+		return
+	}
 	s.counters[name] = v
 }
 
 // Max raises counter name to v if v is larger than the current value.
 func (s *Set) Max(name string, v uint64) {
+	if id, ok := idByName[name]; ok {
+		s.MaxID(id, v)
+		return
+	}
 	if v > s.counters[name] {
 		s.counters[name] = v
 	}
@@ -53,7 +251,12 @@ func (s *Set) Max(name string, v uint64) {
 
 // Names returns the sorted list of counter names present in the set.
 func (s *Set) Names() []string {
-	names := make([]string, 0, len(s.counters))
+	names := make([]string, 0, len(s.counters)+int(NumIDs))
+	for id := ID(0); id < NumIDs; id++ {
+		if s.present[id] {
+			names = append(names, idNames[id])
+		}
+	}
 	for n := range s.counters {
 		names = append(names, n)
 	}
@@ -63,7 +266,12 @@ func (s *Set) Names() []string {
 
 // Snapshot returns a copy of all counters.
 func (s *Set) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64, len(s.counters))
+	out := make(map[string]uint64, len(s.counters)+int(NumIDs))
+	for id := ID(0); id < NumIDs; id++ {
+		if s.present[id] {
+			out[idNames[id]] = s.slots[id]
+		}
+	}
 	for k, v := range s.counters {
 		out[k] = v
 	}
@@ -83,30 +291,68 @@ func IsPeak(name string) bool { return strings.HasSuffix(name, PeakSuffix) }
 // Merge folds every counter of other into s: counters accumulate, except
 // peak counters (names ending in PeakSuffix), which take the maximum.
 func (s *Set) Merge(other *Set) {
-	s.MergeMap(other.counters)
+	for id := ID(0); id < NumIDs; id++ {
+		if !other.present[id] {
+			continue
+		}
+		if idPeak[id] {
+			s.MaxID(id, other.slots[id])
+			s.present[id] = true
+		} else {
+			s.AddID(id, other.slots[id])
+		}
+	}
+	s.mergeTail(other.counters)
 }
 
 // MergeMap folds a counter map into s under the same rules as Merge.
+// Canonical names route into their slots.
 func (s *Set) MergeMap(counters map[string]uint64) {
 	for k, v := range counters {
-		if IsPeak(k) {
-			if v > s.counters[k] {
-				s.counters[k] = v
+		if id, ok := idByName[k]; ok {
+			if idPeak[id] {
+				s.MaxID(id, v)
+				s.present[id] = true
+			} else {
+				s.AddID(id, v)
 			}
-		} else {
-			s.counters[k] += v
+			continue
 		}
+		s.mergeOne(k, v)
+	}
+}
+
+func (s *Set) mergeTail(counters map[string]uint64) {
+	for k, v := range counters {
+		s.mergeOne(k, v)
+	}
+}
+
+func (s *Set) mergeOne(k string, v uint64) {
+	if IsPeak(k) {
+		if v > s.counters[k] {
+			s.counters[k] = v
+		}
+	} else {
+		s.counters[k] += v
 	}
 }
 
 // Reset removes all counters.
 func (s *Set) Reset() {
+	s.slots = [NumIDs]uint64{}
+	s.present = [NumIDs]bool{}
 	s.counters = make(map[string]uint64)
 }
 
 // SumPrefix returns the sum of all counters whose name begins with prefix.
 func (s *Set) SumPrefix(prefix string) uint64 {
 	var sum uint64
+	for id := ID(0); id < NumIDs; id++ {
+		if s.present[id] && strings.HasPrefix(idNames[id], prefix) {
+			sum += s.slots[id]
+		}
+	}
 	for k, v := range s.counters {
 		if strings.HasPrefix(k, prefix) {
 			sum += v
@@ -119,7 +365,7 @@ func (s *Set) SumPrefix(prefix string) uint64 {
 func (s *Set) String() string {
 	var b strings.Builder
 	for _, n := range s.Names() {
-		fmt.Fprintf(&b, "%-48s %d\n", n, s.counters[n])
+		fmt.Fprintf(&b, "%-48s %d\n", n, s.Get(n))
 	}
 	return b.String()
 }
@@ -191,6 +437,7 @@ const (
 	CtrLoadsCommitted = "cpu.loads"
 	CtrStoresCommit   = "cpu.stores"
 	CtrAtomicsCommit  = "cpu.atomics"
+	CtrReducesCommit  = "cpu.reduces"
 	CtrComputeCycles  = "cpu.compute_cycles"
 	CtrStallCycles    = "cpu.stall_cycles"
 	CtrCommitStalls   = "cpu.commit_stalls"
@@ -254,6 +501,7 @@ func Canonical() []Counter {
 		{CtrLoadsCommitted, "loads committed"},
 		{CtrStoresCommit, "stores committed"},
 		{CtrAtomicsCommit, "atomic RMW operations committed"},
+		{CtrReducesCommit, "reduction accumulations committed"},
 		{CtrComputeCycles, "cycles cores spent in compute (not stalled)"},
 		{CtrStallCycles, "cycles cores spent stalled on memory"},
 		{CtrCommitStalls, "OOO commit-stage stalls"},

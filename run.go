@@ -85,6 +85,11 @@ type Options struct {
 	// MaxCycles bounds the run (0 = default guard).
 	MaxCycles uint64
 
+	// Engine selects the simulation loop: "" or "skip" for the quiescence-
+	// skipping engine (the default), "naive" for the cycle-stepped reference
+	// loop. Both are cycle-exact and produce byte-identical results.
+	Engine string
+
 	// Obs attaches the unified observability layer (event tracing and
 	// interval metrics) to the run. Options stays comparable — the pointer
 	// participates in Runner memo keys, so two cells tracing into distinct
@@ -189,6 +194,14 @@ func buildConfig(opt Options) sim.Config {
 	cfg.CheckSWMR = opt.Verify
 	if opt.MaxCycles > 0 {
 		cfg.MaxCycles = opt.MaxCycles
+	}
+	switch opt.Engine {
+	case "", "skip":
+		cfg.Engine = sim.EngineSkip
+	case "naive":
+		cfg.Engine = sim.EngineNaive
+	default:
+		panic(fmt.Sprintf("fscoherence: unknown engine %q (want \"skip\" or \"naive\")", opt.Engine))
 	}
 	cfg.Obs = opt.Obs
 	return cfg

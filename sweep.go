@@ -23,7 +23,8 @@ import (
 // NewRunner(1) executes cells inline in submission order, reproducing the
 // historical serial harness exactly.
 type Runner struct {
-	eng *runner.Engine
+	eng    *runner.Engine
+	engine string
 }
 
 // cellKey identifies one simulation cell. Options contains only comparable
@@ -46,6 +47,12 @@ func NewRunner(workers int) *Runner {
 // Workers returns the concurrency bound.
 func (r *Runner) Workers() int { return r.eng.Workers() }
 
+// SetEngine sets the default simulation engine ("skip" or "naive") applied to
+// submitted cells that do not specify one. cmd/fsexp's -engine flag uses it to
+// rerun entire tables under the naive reference loop; results are identical
+// either way (the engines are proven equivalent), only wall-clock differs.
+func (r *Runner) SetEngine(engine string) { r.engine = engine }
+
 // SetProgress installs a per-cell completion callback (timing report).
 // Calls are serialized by the engine.
 func (r *Runner) SetProgress(fn func(bench string, opt Options, d time.Duration, err error)) {
@@ -62,11 +69,18 @@ type Future struct {
 	h     *runner.Handle
 }
 
-// Submit schedules one cell and returns a future. Scale is normalized
-// before keying so Options{Scale: 0} and Options{Scale: 1} share a cell.
+// Submit schedules one cell and returns a future. Scale and Engine are
+// normalized before keying so Options{Scale: 0} and Options{Scale: 1} (and
+// Engine "" and "skip") share a cell.
 func (r *Runner) Submit(bench string, opt Options) *Future {
 	if opt.Scale == 0 {
 		opt.Scale = 1
+	}
+	if opt.Engine == "" {
+		opt.Engine = r.engine
+	}
+	if opt.Engine == "" {
+		opt.Engine = "skip"
 	}
 	key := cellKey{Bench: bench, Opt: opt}
 	h := r.eng.Do(key, func(uint64) (any, error) {
