@@ -12,13 +12,18 @@
 #   make bench   — run the Benchmark* suite (-benchmem, one iteration each)
 #                  and capture the parsed results into BENCH_3.json.
 #   make sweep   — regenerate the paper's tables with the parallel engine.
+#   make fuzzsmoke — CI-sized protocol fuzzing: a fixed 60-seed corpus across
+#                  all three protocols under fault injection, plus the oracle
+#                  selfcheck (seeded bugs must be caught and shrunk). ~30s.
+#   make fuzz    — full fuzzing campaign (SEEDS=200 by default); not tier-1.
 
 GO ?= go
 GOFMT ?= gofmt
+SEEDS ?= 200
 
-.PHONY: ci check fmt test race equiv allocsmoke bench sweep
+.PHONY: ci check fmt test race equiv allocsmoke bench sweep fuzz fuzzsmoke
 
-ci: check race equiv allocsmoke
+ci: check race equiv allocsmoke fuzzsmoke
 
 check: fmt test
 
@@ -54,3 +59,12 @@ bench:
 
 sweep:
 	$(GO) run ./cmd/fsexp -all
+
+# Fixed corpus + oracle selfcheck: deterministic, so a failure here is a real
+# regression, never flake. EXPERIMENTS.md §"Protocol fuzzing".
+fuzzsmoke:
+	$(GO) run ./cmd/fsfuzz -seeds 60
+	$(GO) run ./cmd/fsfuzz -selfcheck
+
+fuzz:
+	$(GO) run ./cmd/fsfuzz -seeds $(SEEDS)

@@ -230,7 +230,7 @@ func (d *Dir) DebugString() string {
 		}
 		s += fmt.Sprintf(" line{%v st=%v sh=%b", e.Tag, ln.state, ln.sharers)
 		if ln.txn != nil {
-			s += fmt.Sprintf(" txn{kind=%d expect=%b data=%v/%v pmmc?}", ln.txn.kind, ln.txn.expect, ln.txn.dataSeen, ln.txn.needOwnerData)
+			s += fmt.Sprintf(" txn{kind=%v expect=%b data=%v/%v pmmc?}", ln.txn.kind, ln.txn.expect, ln.txn.dataSeen, ln.txn.needOwnerData)
 			if d.policy != nil {
 				s += fmt.Sprintf(" pmmc=%d", d.policy.PendingMetadata(e.Tag))
 			}

@@ -84,8 +84,14 @@ type mshr struct {
 
 // Observer receives architectural commit events (used by the simulation
 // engine for the golden-memory oracle and per-op accounting).
+//
+// OnLoadCommit carries the load's issue cycle because a miss-path load binds
+// its value at the directory (its coherence-order serialization point),
+// which lies anywhere in [issue, commit]: the oracle must accept any value
+// live during that window, not just the one current at commit. Hits and RMW
+// reads serialize at commit and report issue == commit.
 type Observer interface {
-	OnLoadCommit(core int, addr memsys.Addr, value []byte)
+	OnLoadCommit(core int, addr memsys.Addr, value []byte, issue uint64)
 	OnStoreCommit(core int, addr memsys.Addr, value []byte)
 	// OnReduceCommit reports a commutative accumulation; deltas commit in
 	// an arbitrary interleaving, so the oracle sums rather than overwrites.
@@ -218,7 +224,7 @@ func (l *L1) DebugString() string {
 	}
 	s := fmt.Sprintf("l1 %d:", l.core)
 	for a, tx := range l.mshrs {
-		s += fmt.Sprintf(" mshr{%v state=%d acks=%d/%d data=%v reissue=%v fwd=%v}",
+		s += fmt.Sprintf(" mshr{%v state=%v acks=%d/%d data=%v reissue=%v fwd=%v}",
 			a, tx.state, tx.acksGot, tx.acksNeed, tx.dataSeen, tx.reissue, len(tx.deferred))
 	}
 	for a, wb := range l.wb {
@@ -413,7 +419,7 @@ func (l *L1) hit(a *Access) {
 // scheduleLocal applies the access now (its serialization point) and defers
 // the completion callback by the hit latency.
 func (l *L1) scheduleLocal(a *Access) {
-	val := l.commitNow(a)
+	val := l.commitNow(a, l.now)
 	l.local = append(l.local, scheduledDone{done: a.Done, value: val, at: l.now + l.params.L1HitCycles})
 }
 
@@ -492,7 +498,10 @@ func (l *L1) redispatch(m *network.Msg) {
 // commitNow architecturally performs the access against the (resident and
 // permitted) line, updates private metadata and notifies the observer. It
 // returns the value to deliver through Done (nil for stores/prefetches).
-func (l *L1) commitNow(a *Access) []byte {
+// issue is the access's issue cycle: for a miss-path load that is the cycle
+// the request entered the system (the serialization point lies between it
+// and now); for hits it equals now.
+func (l *L1) commitNow(a *Access, issue uint64) []byte {
 	if a.Kind == AccessPrefetch {
 		return nil
 	}
@@ -511,7 +520,7 @@ func (l *L1) commitNow(a *Access) []byte {
 			l.policy.OnAccess(blk, off, a.Size, false)
 		}
 		if l.obs != nil {
-			l.obs.OnLoadCommit(l.core, a.Addr, val)
+			l.obs.OnLoadCommit(l.core, a.Addr, val, issue)
 		}
 		l.stats.IncID(stats.IDLoadsCommitted)
 		return val
@@ -559,7 +568,9 @@ func (l *L1) commitNow(a *Access) []byte {
 			l.policy.OnAccess(blk, off, a.Size, true)
 		}
 		if l.obs != nil {
-			l.obs.OnLoadCommit(l.core, a.Addr, old)
+			// The RMW read serializes with its write at commit: the line is
+			// exclusively held, so strict commit-time checking is exact.
+			l.obs.OnLoadCommit(l.core, a.Addr, old, l.now)
 			l.obs.OnStoreCommit(l.core, a.Addr, next)
 		}
 		l.stats.IncID(stats.IDAtomicsCommit)
@@ -720,7 +731,7 @@ func (l *L1) finishTxn(m *mshr) {
 	delete(l.mshrs, m.addr)
 	l.cache.Unpin(m.addr)
 	l.missHist.Observe(l.now - m.start)
-	val := l.commitNow(m.access)
+	val := l.commitNow(m.access, m.start)
 	if m.access.Done != nil {
 		m.access.Done(val)
 	}
@@ -822,7 +833,7 @@ func (l *L1) commitFromBuffer(tx *mshr, data []byte) {
 	val := make([]byte, a.Size)
 	copy(val, data[off:off+a.Size])
 	if l.obs != nil {
-		l.obs.OnLoadCommit(l.core, a.Addr, val)
+		l.obs.OnLoadCommit(l.core, a.Addr, val, tx.start)
 	}
 	l.stats.IncID(stats.IDLoadsCommitted)
 	if a.Done != nil {

@@ -1,0 +1,102 @@
+package coherence
+
+import "fscoherence/internal/memsys"
+
+// State inventory: the complete set of stable and transient FSM states
+// implemented by the L1 controller (l1.go) and the directory (dir.go),
+// exported so PROTOCOL.md can be verified against the implementation (see
+// protocol_doc_test.go) and so the fuzzing harness (internal/fuzz) can dump
+// and cross-check component states by name.
+//
+// Transient-state naming follows the convention of Sorin/Hill/Wood ("A Primer
+// on Memory Consistency and Cache Coherence") used by the paper: IS_D is the
+// I->S transition waiting for Data, IM_AD waits for Acks and Data, SM_A waits
+// for Acks. The directory's transients are named after the transaction kinds
+// of dirTxn.
+
+func (s mshrState) String() string {
+	switch s {
+	case mshrWaitData:
+		return "IS_D"
+	case mshrWaitDataExcl:
+		return "IM_AD"
+	case mshrWaitUpgrade:
+		return "SM_A"
+	case mshrWaitChk:
+		return "PRV_CHK"
+	}
+	return "mshr?"
+}
+
+func (k dirTxnKind) String() string {
+	switch k {
+	case txnFwd:
+		return "FWD"
+	case txnMemFill:
+		return "MEM_FILL"
+	case txnPrvInit:
+		return "PRV_INIT"
+	case txnPrvTerm:
+		return "PRV_TERM"
+	case txnEvict:
+		return "EVICT"
+	}
+	return "txn?"
+}
+
+// L1StableStates lists every stable L1 coherence state.
+func L1StableStates() []L1State {
+	return []L1State{L1Invalid, L1Shared, L1Exclusive, L1Modified, L1Prv}
+}
+
+// L1TransientStates lists the documentation name of every transient
+// (MSHR-resident) L1 state, in enum order.
+func L1TransientStates() []string {
+	out := make([]string, 0, 4)
+	for s := mshrWaitData; s <= mshrWaitChk; s++ {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+// DirStableStates lists every stable directory state.
+func DirStableStates() []DirState {
+	return []DirState{DirIdle, DirShared, DirOwned, DirPrv}
+}
+
+// DirTransientStates lists the documentation name of every transient
+// (transaction-resident) directory state, in enum order.
+func DirTransientStates() []string {
+	out := make([]string, 0, 5)
+	for k := txnFwd; k <= txnEvict; k++ {
+		out = append(out, k.String())
+	}
+	return out
+}
+
+// DirEntry is a snapshot of one directory entry (ForEachEntry).
+type DirEntry struct {
+	Addr    memsys.Addr
+	State   DirState
+	Owner   int    // valid when State == DirOwned
+	Sharers uint64 // core bitset: S sharers, or PRV sharers when State == DirPrv
+	Busy    bool   // a transaction is in progress on the entry
+	HasData bool   // the LLC data array holds the block
+}
+
+// ForEachEntry visits a snapshot of every directory entry in this slice
+// (invariant checking: the fuzzing harness cross-checks directory and L1
+// states at quiescence).
+func (d *Dir) ForEachEntry(fn func(DirEntry)) {
+	d.llc.ForEach(func(e *memsys.Entry[dirLine]) {
+		ln := &e.Payload
+		fn(DirEntry{
+			Addr:    e.Tag,
+			State:   ln.state,
+			Owner:   ln.owner,
+			Sharers: uint64(ln.sharers),
+			Busy:    ln.txn != nil,
+			HasData: ln.hasData,
+		})
+	})
+}

@@ -1,0 +1,128 @@
+package fuzz
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Protocols is the default protocol sweep.
+var Protocols = []string{"baseline", "fsdetect", "fslite"}
+
+// CampaignConfig drives a multi-seed fuzzing campaign.
+type CampaignConfig struct {
+	// StartSeed and Seeds define the seed range [StartSeed, StartSeed+Seeds).
+	StartSeed uint64
+	Seeds     int
+
+	// Protocols to sweep (nil = all three).
+	Protocols []string
+
+	// Opt is passed to every Execute.
+	Opt Options
+
+	// ShrinkBudget caps Execute calls per failure during shrinking (0=250).
+	ShrinkBudget int
+
+	// Jobs is the number of concurrent executions (0 = GOMAXPROCS, capped
+	// at 8). Each simulation is single-threaded and self-contained, so runs
+	// parallelize perfectly; results are reported in deterministic order.
+	Jobs int
+
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// CaseResult is the outcome of one (seed, protocol) case.
+type CaseResult struct {
+	Seed     uint64
+	Protocol string
+	Cycles   uint64
+	Failure  *Failure
+
+	// Program is the failing program; Shrunk its minimized repro (set only
+	// on failure).
+	Program *Program
+	Shrunk  *Program
+	Runs    int // shrinker executions
+}
+
+// CampaignResult summarizes a campaign.
+type CampaignResult struct {
+	Cases       int
+	TotalCycles uint64
+	Failures    []CaseResult
+}
+
+// Campaign generates and executes Seeds programs per protocol, shrinking
+// every failure to a minimal repro. Execution is parallel; the result is
+// deterministic regardless of Jobs.
+func Campaign(cfg CampaignConfig) *CampaignResult {
+	protos := cfg.Protocols
+	if len(protos) == 0 {
+		protos = Protocols
+	}
+	type task struct {
+		seed  uint64
+		proto string
+	}
+	var tasks []task
+	for i := 0; i < cfg.Seeds; i++ {
+		for _, pr := range protos {
+			tasks = append(tasks, task{cfg.StartSeed + uint64(i), pr})
+		}
+	}
+
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+		if jobs > 8 {
+			jobs = 8
+		}
+	}
+	results := make([]CaseResult, len(tasks))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t := tasks[i]
+				p := Generate(t.seed, t.proto)
+				out := Execute(p, cfg.Opt)
+				results[i] = CaseResult{
+					Seed: t.seed, Protocol: t.proto,
+					Cycles: out.Cycles, Failure: out.Failure, Program: p,
+				}
+			}
+		}()
+	}
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	res := &CampaignResult{Cases: len(tasks)}
+	for i := range results {
+		r := &results[i]
+		res.TotalCycles += r.Cycles
+		if r.Failure == nil {
+			continue
+		}
+		if cfg.Log != nil {
+			cfg.Log("FAIL seed=%d protocol=%s: %s — shrinking...", r.Seed, r.Protocol, r.Failure.Kind)
+		}
+		sr := Shrink(r.Program, r.Failure.Kind, cfg.Opt, cfg.ShrinkBudget)
+		r.Shrunk = sr.Program
+		r.Runs = sr.Runs
+		res.Failures = append(res.Failures, *r)
+	}
+	return res
+}
+
+// ReproCommand renders the replay command line for a repro file path.
+func ReproCommand(path string) string {
+	return fmt.Sprintf("go run ./cmd/fsfuzz -replay %s", path)
+}

@@ -1,0 +1,128 @@
+package fuzz
+
+// The generator: a Program is a pure function of (seed, protocol). It uses
+// its own SplitMix64-based PRNG rather than math/rand so that seed corpora
+// stay stable across Go releases — a repro seed found in CI must reproduce
+// the same program forever.
+
+// rng is a SplitMix64 sequence generator.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed ^ 0x6a09e667f3bcc909} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	x := r.s
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// n returns a uniform int in [0, max).
+func (r *rng) n(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(max))
+}
+
+// chance reports true with probability num/den.
+func (r *rng) chance(num, den int) bool { return r.n(den) < num }
+
+// opWeight pairs an op kind with its selection weight.
+type opWeight struct {
+	k OpKind
+	w int
+}
+
+// weights is the adversarial operation mix: false-sharing updates dominate,
+// laced with cross-thread reads (conflicts/terminations), true sharing,
+// lock churn (racy upgrades), racing plain stores, private traffic
+// (capacity pressure in hostile configs) and prefetches.
+var weights = []opWeight{
+	{KFSAdd, 28},
+	{KFSLoad, 10},
+	{KSharedAdd, 9},
+	{KLockedAdd, 7},
+	{KRacyStore, 8},
+	{KRacyLoad, 5},
+	{KPrivStore, 11},
+	{KPrivLoad, 5},
+	{KCompute, 8},
+	{KPrefetch, 4},
+	{KReduce, 7}, // only drawn when the program declares the reduction region
+}
+
+// pick draws one op kind from the weighted mix.
+func pick(r *rng, useReduction bool) OpKind {
+	total := 0
+	for _, w := range weights {
+		if w.k == KReduce && !useReduction {
+			continue
+		}
+		total += w.w
+	}
+	x := r.n(total)
+	for _, w := range weights {
+		if w.k == KReduce && !useReduction {
+			continue
+		}
+		if x < w.w {
+			return w.k
+		}
+		x -= w.w
+	}
+	return KCompute // unreachable
+}
+
+// sizes are the sub-word private-store widths (byte-precision coverage).
+var sizes = []int{1, 2, 4, 8}
+
+// Generate derives a complete fuzz program from a seed for one protocol.
+func Generate(seed uint64, protocol string) *Program {
+	r := newRng(seed)
+	p := &Program{
+		Seed:         seed,
+		Protocol:     protocol,
+		Hostile:      r.chance(7, 10),
+		L2:           r.chance(1, 4),
+		NonInclusive: r.chance(1, 4),
+		UseReduction: r.chance(1, 3),
+	}
+	workers := 2 + r.n(maxWorkers-1) // 2..7
+	opsPer := 16 + r.n(49)           // 16..64
+
+	// Fault schedule: mild jitter on most seeds, occasional heavy jitter and
+	// congestion bursts. Roughly 1 in 8 seeds runs fault-free as a control.
+	if !r.chance(1, 8) {
+		p.Faults.Seed = r.next()
+		p.Faults.MaxJitter = uint64(1 + r.n(24))
+		if r.chance(1, 3) {
+			p.Faults.MaxJitter += uint64(r.n(120)) // heavy tail
+		}
+		if r.chance(1, 3) {
+			p.Faults.BurstPeriod = uint64(64 + r.n(1900))
+			p.Faults.BurstLen = 1 + p.Faults.BurstPeriod/uint64(4+r.n(12))
+		}
+	}
+
+	for t := 0; t < workers; t++ {
+		ops := make([]OpSpec, 0, opsPer)
+		for i := 0; i < opsPer; i++ {
+			k := pick(r, p.UseReduction)
+			op := OpSpec{K: k, A: r.n(1 << 16)}
+			switch k {
+			case KFSAdd, KSharedAdd, KLockedAdd, KReduce:
+				op.V = uint64(1 + r.n(255))
+			case KRacyStore:
+				op.V = r.next() >> 8
+			case KPrivStore:
+				op.Sz = sizes[r.n(len(sizes))]
+				op.V = r.next()
+			}
+			ops = append(ops, op)
+		}
+		p.Threads = append(p.Threads, ops)
+	}
+	return p
+}

@@ -1,0 +1,149 @@
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+
+	"fscoherence/internal/coherence"
+	"fscoherence/internal/memsys"
+	"fscoherence/internal/sim"
+)
+
+// Quiescence agreement oracle: once a run drains (all threads finished, no
+// in-flight messages, every controller idle), the directory's view of each
+// block must agree with the L1s' — PROTOCOL.md §"Quiescent-state invariants".
+//
+// The invariants are deliberately asymmetric where the protocol is:
+//
+//   - An L1 holding E/M requires a DirOwned entry naming exactly that core;
+//     owners never vanish silently (clean-E evictions write back too), so
+//     DirOwned conversely requires the named owner to hold E or M.
+//   - An L1 holding S requires DirShared (or DirPrv mid-set: no — at
+//     quiescence a PRV episode has no S copies) with the core in the sharer
+//     set. The reverse is a superset check only: S copies are dropped
+//     silently, so the directory may remember sharers that no longer exist.
+//   - An L1 holding PRV requires DirPrv with the core in the PRV-sharer set,
+//     and exactly: PRV evictions write back (Prv_WB), so the directory's
+//     PRV-sharer set is precise.
+//   - DirIdle (or no entry) requires no cached copy anywhere.
+
+// l1View records which cores hold a block in which stable state.
+type l1View struct {
+	em   []int // cores holding E or M
+	sh   []int // cores holding S
+	prv  []int // cores holding PRV
+	prvB uint64
+}
+
+// quiescenceViolations cross-checks every directory entry against every L1
+// line at end of run. It returns human-readable violations (nil when
+// consistent).
+func quiescenceViolations(sys *sim.System, cores, slices int) []string {
+	var bad []string
+	report := func(format string, args ...any) {
+		if len(bad) < 16 {
+			bad = append(bad, fmt.Sprintf(format, args...))
+		}
+	}
+
+	views := make(map[memsys.Addr]*l1View)
+	for i := 0; i < cores; i++ {
+		core := i
+		sys.L1(i).ForEachLine(func(a memsys.Addr, st coherence.L1State) {
+			v := views[a]
+			if v == nil {
+				v = &l1View{}
+				views[a] = v
+			}
+			switch st {
+			case coherence.L1Exclusive, coherence.L1Modified:
+				v.em = append(v.em, core)
+			case coherence.L1Shared:
+				v.sh = append(v.sh, core)
+			case coherence.L1Prv:
+				v.prv = append(v.prv, core)
+				v.prvB |= 1 << uint(core)
+			}
+		})
+	}
+
+	entries := make(map[memsys.Addr]coherence.DirEntry)
+	for s := 0; s < slices; s++ {
+		sys.Dir(s).ForEachEntry(func(e coherence.DirEntry) {
+			entries[e.Addr] = e
+			if e.Busy {
+				report("block %v: directory transaction still open at quiescence", e.Addr)
+			}
+		})
+	}
+
+	// L1 -> directory direction, plus SWMR on the final state.
+	addrs := make([]memsys.Addr, 0, len(views))
+	for a := range views {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		v := views[a]
+		if len(v.em) > 1 || (len(v.em) > 0 && (len(v.sh) > 0 || len(v.prv) > 0)) {
+			report("block %v: SWMR violated at quiescence: EM=%v S=%v PRV=%v", a, v.em, v.sh, v.prv)
+			continue
+		}
+		e, ok := entries[a]
+		if !ok {
+			if len(v.em)+len(v.sh)+len(v.prv) > 0 {
+				report("block %v: cached (EM=%v S=%v PRV=%v) but no directory entry", a, v.em, v.sh, v.prv)
+			}
+			continue
+		}
+		switch {
+		case len(v.em) == 1:
+			if e.State != coherence.DirOwned || e.Owner != v.em[0] {
+				report("block %v: core %d holds E/M but directory is %v owner=%d",
+					a, v.em[0], e.State, e.Owner)
+			}
+		case len(v.prv) > 0:
+			if e.State != coherence.DirPrv {
+				report("block %v: cores %v hold PRV but directory is %v", a, v.prv, e.State)
+			}
+		case len(v.sh) > 0:
+			if e.State != coherence.DirShared {
+				report("block %v: cores %v hold S but directory is %v", a, v.sh, e.State)
+			}
+		}
+		if e.State == coherence.DirShared || e.State == coherence.DirPrv {
+			want := e.Sharers
+			for _, c := range append(append([]int{}, v.sh...), v.prv...) {
+				if want&(1<<uint(c)) == 0 {
+					report("block %v: core %d holds a copy but is not in the %v sharer set %b",
+						a, c, e.State, want)
+				}
+			}
+		}
+	}
+
+	// Directory -> L1 direction.
+	for a, e := range entries {
+		v := views[a]
+		if v == nil {
+			v = &l1View{}
+		}
+		switch e.State {
+		case coherence.DirOwned:
+			st := sys.L1(e.Owner).StateOf(a)
+			if st != coherence.L1Exclusive && st != coherence.L1Modified {
+				report("block %v: directory owner %d holds %v, not E/M", a, e.Owner, st)
+			}
+		case coherence.DirPrv:
+			// Prv_WB evictions prune the set, so it is exact at quiescence.
+			if e.Sharers != v.prvB {
+				report("block %v: directory PRV sharers %b but PRV copies at %b", a, e.Sharers, v.prvB)
+			}
+		case coherence.DirIdle:
+			if len(v.em)+len(v.sh)+len(v.prv) > 0 {
+				report("block %v: directory idle but cached: EM=%v S=%v PRV=%v", a, v.em, v.sh, v.prv)
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,103 @@
+package fuzz
+
+// The shrinker: greedy delta-debugging over the Program's data. Because a
+// program is plain data over a fixed address layout, removing a thread or an
+// operation yields another valid program exercising a subset of the traffic;
+// the shrinker keeps any removal that still reproduces the original failure
+// kind, iterating to a fixpoint under an execution budget.
+
+// ShrinkResult carries the minimized program and shrinking statistics.
+type ShrinkResult struct {
+	Program *Program
+	Runs    int  // Execute invocations spent
+	Gave    bool // true when the budget ran out before the fixpoint
+}
+
+// Shrink minimizes p while Execute keeps failing with the same kind as the
+// original failure. budget caps the number of Execute calls (0 = 250). The
+// returned program always still fails.
+func Shrink(p *Program, kind string, opt Options, budget int) ShrinkResult {
+	if budget == 0 {
+		budget = 250
+	}
+	runs := 0
+	fails := func(q *Program) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		o := Execute(q, opt)
+		return o.Failure != nil && o.Failure.Kind == kind
+	}
+
+	cur := p.clone()
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+
+		// Drop whole threads. Removing thread i renumbers later threads
+		// (their slot and private-region addresses shift); the predicate
+		// decides whether the failure survives the renumbering.
+		for i := 0; i < len(cur.Threads) && len(cur.Threads) > 1; {
+			q := cur.clone()
+			q.Threads = append(q.Threads[:i], q.Threads[i+1:]...)
+			if fails(q) {
+				cur = q
+				changed = true
+			} else {
+				i++
+			}
+		}
+
+		// Remove operation chunks per thread, halving the chunk size
+		// (ddmin-style: large bites first, single ops last).
+		for t := 0; t < len(cur.Threads); t++ {
+			for chunk := len(cur.Threads[t]) / 2; chunk >= 1; chunk /= 2 {
+				for start := 0; start+chunk <= len(cur.Threads[t]); {
+					q := cur.clone()
+					q.Threads[t] = append(q.Threads[t][:start], q.Threads[t][start+chunk:]...)
+					if fails(q) {
+						cur = q
+						changed = true
+					} else {
+						start += chunk
+					}
+				}
+			}
+		}
+
+		// Simplify the fault schedule and system shape: each knob that can
+		// be dropped while preserving the failure makes the repro easier to
+		// reason about.
+		try := func(mutate func(*Program)) {
+			q := cur.clone()
+			mutate(q)
+			if fails(q) {
+				cur = q
+				changed = true
+			}
+		}
+		if cur.Faults.BurstPeriod != 0 {
+			try(func(q *Program) { q.Faults.BurstPeriod, q.Faults.BurstLen = 0, 0 })
+		}
+		if cur.Faults.MaxJitter > 0 {
+			try(func(q *Program) { q.Faults.MaxJitter = 0 })
+		}
+		if cur.Faults.MaxJitter > 4 {
+			try(func(q *Program) { q.Faults.MaxJitter /= 2 })
+		}
+		if cur.L2 {
+			try(func(q *Program) { q.L2 = false })
+		}
+		if cur.NonInclusive {
+			try(func(q *Program) { q.NonInclusive = false })
+		}
+		if cur.UseReduction {
+			try(func(q *Program) { q.UseReduction = false })
+		}
+
+		if !changed || runs >= budget {
+			return ShrinkResult{Program: cur, Runs: runs, Gave: runs >= budget && changed}
+		}
+	}
+	return ShrinkResult{Program: cur, Runs: runs}
+}

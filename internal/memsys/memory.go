@@ -1,5 +1,7 @@
 package memsys
 
+import "strconv"
+
 // Memory is a flat physical memory with lazily allocated cache-block-sized
 // chunks. Unwritten bytes read as zero.
 type Memory struct {
@@ -65,24 +67,88 @@ func (m *Memory) SetByte(a Addr, v byte) {
 // BlocksAllocated returns how many distinct blocks have been touched.
 func (m *Memory) BlocksAllocated() int { return len(m.blocks) }
 
-// oracleBlock tracks per-byte current value, previous value and the cycle of
-// the last committed store.
+// version records one committed value of a byte and the cycle from which it
+// was live (until the next version's from-cycle).
+type version struct {
+	val  byte
+	from uint64
+}
+
+// maxVersions bounds the per-byte history. A load's serialization window
+// spans at most one miss round-trip, so a byte would need this many distinct
+// committed values inside a single miss to defeat the bound; overflow drops
+// the oldest version (extending its successor's span backwards — a
+// conservative accept, never a false violation).
+const maxVersions = 96
+
+// oracleBlock tracks per-byte current value plus a bounded history of
+// committed versions. hist[i] is append-only in commit-cycle order; the byte
+// implicitly holds zero from cycle 0 until its first committed version.
 type oracleBlock struct {
-	cur   []byte
-	prev  []byte
-	cycle []uint64
+	cur  []byte
+	hist [][]version
+}
+
+// commit records v as byte i's value from cycle onward. A rewrite of the
+// same value extends the live span rather than splitting it.
+func (b *oracleBlock) commit(i int, v byte, cycle uint64) {
+	if v == b.cur[i] {
+		return
+	}
+	h := b.hist[i]
+	if len(h) >= maxVersions {
+		copy(h, h[1:])
+		h = h[:len(h)-1]
+	}
+	b.hist[i] = append(h, version{val: v, from: cycle})
+	b.cur[i] = v
+}
+
+// liveDuring reports whether byte i held value v at some cycle in [issue,
+// commit]. Versions are walked newest to oldest; interval boundaries are
+// treated inclusively on both sides, which preserves the cycle-granularity
+// tie tolerance: a load and a store committing in the same cycle are
+// unordered at cycle resolution, so both the old and the new value pass.
+func (b *oracleBlock) liveDuring(i int, v byte, issue, commit uint64) bool {
+	h := b.hist[i]
+	end := ^uint64(0)
+	for k := len(h) - 1; k >= -1; k-- {
+		var val byte
+		var from uint64
+		if k >= 0 {
+			val, from = h[k].val, h[k].from
+		}
+		if from > commit {
+			// Version became live after the window closed; the window can
+			// only see its predecessors.
+			end = from
+			continue
+		}
+		// This version was live during [from, end); the window intersects it.
+		if val == v && end >= issue {
+			return true
+		}
+		if from < issue {
+			// Every older version's span ends strictly before the window.
+			return false
+		}
+		end = from
+	}
+	return false
 }
 
 // Oracle is a byte-granular golden memory used by tests. The simulator
-// updates it at the exact simulated cycle a store commits; every load is
-// checked against the oracle value at its own commit cycle. Because the
-// baseline protocol is MESI with blocking cores and privatized lines are
-// single-writer per byte, every load must observe the latest committed store
-// to each byte — with one cycle-granularity exception: when a load and the
-// store it is logically ordered *before* commit in the same cycle (their
-// completion messages arrive together), the two events are unordered at
-// cycle resolution, so the byte's previous value is also accepted if its
-// last store committed in that same cycle.
+// updates it at the exact simulated cycle a store commits. A load is checked
+// against every value the byte held during the load's serialization window
+// [issue, commit]: a miss-path load binds its value when the directory
+// serializes the request, which can be many cycles before the data message
+// arrives and the load commits. Under uniform network latency the bound
+// value is always still current at commit, but latency jitter (the fault
+// injector) legally delays the data past younger stores' commits — see
+// PROTOCOL.md §"Network ordering contract". Because the baseline protocol is
+// MESI with blocking cores and privatized lines are single-writer per byte,
+// each byte's committed values form a total order, so the window check is
+// exact, not an approximation.
 type Oracle struct {
 	blockSize int
 	blocks    map[Addr]*oracleBlock
@@ -100,9 +166,8 @@ func (o *Oracle) block(a Addr) *oracleBlock {
 	b := o.blocks[ba]
 	if b == nil {
 		b = &oracleBlock{
-			cur:   make([]byte, o.blockSize),
-			prev:  make([]byte, o.blockSize),
-			cycle: make([]uint64, o.blockSize),
+			cur:  make([]byte, o.blockSize),
+			hist: make([][]version, o.blockSize),
 		}
 		o.blocks[ba] = b
 	}
@@ -115,9 +180,7 @@ func (o *Oracle) CommitStore(a Addr, value []byte, cycle uint64) {
 	b := o.block(a)
 	off := a.BlockOffset(o.blockSize)
 	for i, v := range value {
-		b.prev[off+i] = b.cur[off+i]
-		b.cur[off+i] = v
-		b.cycle[off+i] = cycle
+		b.commit(off+i, v, cycle)
 	}
 }
 
@@ -129,35 +192,38 @@ func (o *Oracle) CommitReduce(a Addr, delta []byte, cycle uint64) {
 	off := a.BlockOffset(o.blockSize)
 	var carry uint16
 	for i := range delta {
-		b.prev[off+i] = b.cur[off+i]
 		s := uint16(b.cur[off+i]) + uint16(delta[i]) + carry
-		b.cur[off+i] = byte(s)
 		carry = s >> 8
-		b.cycle[off+i] = cycle
+		b.commit(off+i, byte(s), cycle)
 	}
 }
 
-// CheckLoad verifies the observed bytes for a load committing at cycle and
-// records a violation on mismatch. It reports whether the load matched.
+// CheckLoad verifies the observed bytes for a load whose serialization point
+// coincides with its commit cycle (hits and RMW reads under exclusive
+// ownership). It is CheckLoadWindow with a single-cycle window.
 func (o *Oracle) CheckLoad(a Addr, observed []byte, cycle uint64, context string) bool {
+	return o.CheckLoadWindow(a, observed, cycle, cycle, context)
+}
+
+// CheckLoadWindow verifies the observed bytes for a load that issued at
+// cycle issue and committed at cycle commit: each byte must match some value
+// the byte held during [issue, commit]. It records a violation per
+// mismatching byte and reports whether the whole load matched.
+func (o *Oracle) CheckLoadWindow(a Addr, observed []byte, issue, commit uint64, context string) bool {
 	b := o.block(a)
 	off := a.BlockOffset(o.blockSize)
 	ok := true
 	for i, v := range observed {
-		want := b.cur[off+i]
-		if v == want {
-			continue
-		}
-		// Cycle-granularity tie: the byte's last store committed this very
-		// cycle; the load may legally be ordered before it.
-		if b.cycle[off+i] == cycle && v == b.prev[off+i] {
+		if b.liveDuring(off+i, v, issue, commit) {
 			continue
 		}
 		ok = false
 		if len(o.violations) < 32 {
 			o.violations = append(o.violations,
 				context+": addr "+(a+Addr(i)).String()+
-					": got "+hexByte(v)+" want "+hexByte(want))
+					": got "+hexByte(v)+" want "+hexByte(b.cur[off+i])+
+					" (no version matches in window ["+
+					strconv.FormatUint(issue, 10)+", "+strconv.FormatUint(commit, 10)+"])")
 		}
 	}
 	return ok

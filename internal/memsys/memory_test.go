@@ -116,6 +116,64 @@ func TestOracleSameCycleTieAccepted(t *testing.T) {
 	}
 }
 
+func TestOracleLoadWindow(t *testing.T) {
+	o := NewOracle(64)
+	o.CommitStore(0x40, []byte{1}, 100)
+	o.CommitStore(0x40, []byte{2}, 200)
+	o.CommitStore(0x40, []byte{3}, 300)
+
+	// A load whose serialization window spans a store may observe either
+	// side of it.
+	if !o.CheckLoadWindow(0x40, []byte{1}, 150, 250, "old side") {
+		t.Fatal("value live at window start rejected")
+	}
+	if !o.CheckLoadWindow(0x40, []byte{2}, 150, 250, "new side") {
+		t.Fatal("value live at window end rejected")
+	}
+	// Values dead before the window opened, or born after it closed, fail.
+	if o.CheckLoadWindow(0x40, []byte{1}, 250, 260, "dead") {
+		t.Fatal("value dead before issue accepted")
+	}
+	if o.CheckLoadWindow(0x40, []byte{3}, 150, 250, "future") {
+		t.Fatal("value born after commit accepted")
+	}
+	// Window boundaries are inclusive: a store committing exactly at issue
+	// keeps its predecessor acceptable (same-cycle tie), and exactly at
+	// commit makes its successor acceptable.
+	if !o.CheckLoadWindow(0x40, []byte{1}, 200, 210, "tie at issue") {
+		t.Fatal("tie at issue rejected")
+	}
+	if !o.CheckLoadWindow(0x40, []byte{3}, 250, 300, "tie at commit") {
+		t.Fatal("tie at commit rejected")
+	}
+	// The implicit initial version: every byte reads zero from cycle 0.
+	if !o.CheckLoadWindow(0x40, []byte{0}, 0, 100, "initial zero") {
+		t.Fatal("initial zero rejected")
+	}
+	if o.CheckLoadWindow(0x40, []byte{0}, 101, 150, "initial dead") {
+		t.Fatal("initial zero accepted after overwrite")
+	}
+}
+
+func TestOracleWindowHistoryBound(t *testing.T) {
+	o := NewOracle(64)
+	// Far more versions than the history cap; the newest ones must stay
+	// exact, and truncation must never produce a false violation.
+	for i := 1; i <= 4*maxVersions; i++ {
+		o.CommitStore(0x40, []byte{byte(i)}, uint64(10*i))
+	}
+	last := 4 * maxVersions
+	if !o.CheckLoadWindow(0x40, []byte{byte(last)}, uint64(10*last), uint64(10*last), "cur") {
+		t.Fatal("current value rejected after truncation")
+	}
+	if !o.CheckLoadWindow(0x40, []byte{byte(last - 1)}, uint64(10*(last-1)), uint64(10*last), "prev") {
+		t.Fatal("previous value in window rejected after truncation")
+	}
+	if o.CheckLoadWindow(0x40, []byte{byte(last - 1)}, uint64(10*last)+1, uint64(10*last)+2, "stale") {
+		t.Fatal("stale value accepted after truncation")
+	}
+}
+
 func TestOracleViolationCap(t *testing.T) {
 	o := NewOracle(64)
 	for i := 0; i < 100; i++ {

@@ -2,12 +2,17 @@
 // message wire format shared by the baseline MESI protocol and the
 // FSDetect/FSLite extensions.
 //
-// The network is a fixed-latency crossbar with FIFO delivery per destination:
-// messages sent earlier (in deterministic simulation order) arrive earlier.
-// This matches the point-to-point ordering assumptions of the protocol while
-// keeping the simulation fully deterministic. Traffic is accounted per
-// message class so the experiment harness can reproduce the paper's
-// interconnect-traffic results (§VIII-B).
+// The network is a fixed-latency crossbar. The delivery contract — the only
+// ordering the protocol may assume — is per-(src,dst,class) FIFO: two
+// messages on the same virtual channel arrive in send order, everything else
+// may interleave arbitrarily. Large data messages pay a serialization
+// penalty, so control messages routinely overtake data on the same (src,dst)
+// pair, and the fault injector (faults.go) adds seeded jitter and burst
+// delays on top; both stay within the contract, which PROTOCOL.md §"Network
+// ordering contract" spells out together with the protocol races it makes
+// reachable. Simulation remains fully deterministic in all cases. Traffic is
+// accounted per message class so the experiment harness can reproduce the
+// paper's interconnect-traffic results (§VIII-B).
 package network
 
 import (

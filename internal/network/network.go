@@ -100,10 +100,11 @@ func init() {
 }
 
 // Network is a deterministic fixed-latency interconnect. Each destination has
-// a FIFO inbox; a message sent at cycle T becomes deliverable at T+Latency.
-// Delivery preserves global send order, which implies point-to-point FIFO
-// ordering between any (src,dst) pair — the ordering property the directory
-// protocol relies on.
+// an inbox ordered by delivery cycle; a message sent at cycle T nominally
+// becomes deliverable at T+Latency (+serialization, +injected jitter). The
+// only ordering the protocol may rely on — and the only one the network
+// guarantees, with or without fault injection — is per-(src,dst,class) FIFO;
+// see PROTOCOL.md §"Network ordering contract".
 type Network struct {
 	Latency uint64 // cycles per traversal
 	nodes   int
@@ -129,6 +130,12 @@ type Network struct {
 	inflightNow int // messages currently queued (Pending, peak counter)
 
 	free []*Msg // Msg freelist (NewMsg / Release)
+
+	// faults, when non-nil, perturbs delivery latency deterministically
+	// (fuzzing; see faults.go). sabotage, when non-nil, mistreats one
+	// selected message to validate the fuzzing oracles.
+	faults   *FaultPlan
+	sabotage *Sabotage
 }
 
 // New builds a network with the given number of nodes, per-traversal latency
@@ -218,6 +225,20 @@ func (n *Network) SendAfter(m *Msg, extra uint64) {
 	size := SizeOf(m.Op, n.bs)
 	serialization := uint64((size - HeaderBytes) / 16)
 	readyAt := n.now + n.Latency + extra + serialization
+	if n.faults.Enabled() {
+		readyAt = n.faults.perturb(readyAt, n.seq)
+	}
+	if n.sabotage != nil {
+		var drop bool
+		if readyAt, drop = n.applySabotage(m, readyAt); drop {
+			n.stats.Inc("net.sabotage.dropped")
+			n.Release(m)
+			return
+		}
+	}
+	// The per-channel FIFO clamp runs after any injected perturbation, so a
+	// jittered message can never overtake an earlier one on the same
+	// (src,dst,class) virtual channel — injection stays protocol-legal.
 	key := chanKey{src: m.Src, dst: m.Dst, class: class}
 	if prev := n.lastReady[key]; readyAt < prev {
 		readyAt = prev

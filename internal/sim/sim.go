@@ -63,6 +63,12 @@ type Config struct {
 	// MaxCycles aborts the run as deadlocked when exceeded (0 = 500M).
 	MaxCycles uint64
 
+	// Faults, when non-nil, installs a deterministic network fault-injection
+	// plan (seeded delivery jitter and burst delays; see network.FaultPlan
+	// and internal/fuzz). Injection stays within the protocol-legal delivery
+	// contract, so all oracles must still hold.
+	Faults *network.FaultPlan
+
 	// Obs attaches the unified observability layer (event tracing and
 	// interval metrics). Nil disables it entirely at zero per-event cost.
 	Obs *obs.Obs
@@ -142,6 +148,9 @@ type System struct {
 
 	// cycleHook, when set (tests), runs at the start of every cycle.
 	cycleHook func(cycle uint64)
+
+	// stopReason, when non-empty, aborts the run loop (RequestStop).
+	stopReason string
 }
 
 // SetCommitTrace installs a commit hook (testing/debugging). The hook is fed
@@ -175,9 +184,12 @@ type observer struct {
 	s *System
 }
 
-func (ob observer) OnLoadCommit(c int, a memsys.Addr, v []byte) {
+func (ob observer) OnLoadCommit(c int, a memsys.Addr, v []byte, issue uint64) {
 	if ob.o != nil {
-		ob.o.CheckLoad(a, v, ob.s.cycle, fmt.Sprintf("cycle %d core %d load", ob.s.cycle, c))
+		// A miss-path load binds its value at the directory, anywhere in
+		// [issue, commit]; the oracle accepts any value live in that window.
+		ob.o.CheckLoadWindow(a, v, issue, ob.s.cycle,
+			fmt.Sprintf("cycle %d core %d load", ob.s.cycle, c))
 	}
 	ob.s.commit(c, "load", a, v)
 }
@@ -226,6 +238,9 @@ func New(cfg Config, wl Workload) *System {
 		metrics: cfg.Obs.GetMetrics(),
 	}
 	s.net.SetTracer(s.tracer, p.Cores)
+	if cfg.Faults != nil {
+		s.net.SetFaults(cfg.Faults)
+	}
 
 	if cfg.CheckOracle {
 		s.oracle = memsys.NewOracle(p.BlockSize)
@@ -290,12 +305,46 @@ func (s *System) Dir(i int) *coherence.Dir { return s.dirs[i] }
 // L1 returns core i's L1 controller (testing).
 func (s *System) L1(i int) *coherence.L1 { return s.l1s[i] }
 
+// Net returns the interconnect (testing and fault-injection hooks).
+func (s *System) Net() *network.Network { return s.net }
+
+// CoreFinished reports whether core i's thread has run to completion
+// (watchdog progress checks).
+func (s *System) CoreFinished(i int) bool { return s.cores[i].Finished() }
+
+// RequestStop asks the run loop to abort at the end of the current cycle
+// with ErrStopped wrapping the given reason. Intended to be called from a
+// cycle hook or commit trace (e.g. the fuzzing watchdog); safe to call more
+// than once — the first reason wins.
+func (s *System) RequestStop(reason string) {
+	if s.stopReason == "" {
+		s.stopReason = reason
+	}
+}
+
+// ErrStopped is returned when a hook aborted the run via RequestStop.
+var ErrStopped = errors.New("sim: stopped by hook")
+
 // ErrDeadlock is returned when the simulation exceeds MaxCycles.
 var ErrDeadlock = errors.New("sim: cycle limit exceeded (deadlock?)")
 
-// DumpState summarizes every component's in-flight work (deadlock triage).
+// DumpState summarizes every component's in-flight work (deadlock triage):
+// queued network messages with their delivery cycles, every non-idle L1 and
+// directory slice's FSM state, and unfinished cores.
 func (s *System) DumpState() string {
 	out := fmt.Sprintf("cycle=%d net.pending=%d\n", s.cycle, s.net.Pending())
+	const maxMsgs = 48
+	shown := 0
+	s.net.ForEachInFlight(func(m *network.Msg, readyAt uint64) {
+		shown++
+		if shown > maxMsgs {
+			return
+		}
+		out += fmt.Sprintf("  in-flight: %v readyAt=%d\n", m, readyAt)
+	})
+	if shown > maxMsgs {
+		out += fmt.Sprintf("  ... %d more in-flight messages\n", shown-maxMsgs)
+	}
 	for _, l := range s.l1s {
 		if d := l.DebugString(); d != "" {
 			out += d + "\n"
@@ -333,6 +382,9 @@ func (s *System) Run(name string) (*Result, error) {
 			return nil, fmt.Errorf("%w at cycle %d (%s)", ErrDeadlock, s.cycle, name)
 		}
 		s.stepCycle()
+		if s.stopReason != "" {
+			return nil, fmt.Errorf("%w: %s at cycle %d (%s)", ErrStopped, s.stopReason, s.cycle, name)
+		}
 		if s.done() {
 			break
 		}
