@@ -49,13 +49,14 @@ race:
 equiv:
 	$(GO) test -run 'TestEngine' -count=1 .
 
-# The steady-state network round trip must not allocate; the benchmark's
-# allocs/op plus TestSendRecvDoesNotAllocate gate it.
+# The steady-state network round trip and the parallel engine's epoch loop
+# must not allocate; the benchmark's allocs/op plus the three tests gate it.
 allocsmoke:
-	$(GO) test -run 'TestSendRecvDoesNotAllocate' -bench 'BenchmarkNetSendRecv' -benchmem -benchtime=1x -count=1 ./internal/network/
+	$(GO) test -run 'TestSendRecvDoesNotAllocate|TestReplayDoesNotAllocate' -bench 'BenchmarkNetSendRecv' -benchmem -benchtime=1x -count=1 ./internal/network/
+	$(GO) test -run 'TestParallelEpochDoesNotAllocate' -count=1 ./internal/sim/
 
 bench:
-	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' ./... | $(GO) run ./cmd/benchjson -out BENCH_3.json
+	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' ./... | $(GO) run ./cmd/benchjson -out BENCH_4.json
 
 sweep:
 	$(GO) run ./cmd/fsexp -all

@@ -38,7 +38,10 @@ import (
 func main() {
 	var (
 		all      = flag.Bool("all", false, "run every experiment")
-		engine   = flag.String("engine", "skip", "simulation engine: skip (quiescence-skipping, default) | naive (cycle-stepped reference)")
+		engine   = flag.String("engine", "skip", "simulation engine: skip (quiescence-skipping, default) | naive (cycle-stepped reference) | parallel (conservative parallel)")
+		cores    = flag.Int("cores", 0, "scale the machine to this many cores (0 = Table II 8-core default; up to 256)")
+		topology = flag.String("topology", "", "interconnect: flat (default) | ring | mesh")
+		shards   = flag.Int("shards", 0, "parallel engine worker count (0 = one per 8 cores)")
 		exp      = flag.String("exp", "", "run a single experiment by ID (fig2, fig13, ...)")
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
 		jobs     = flag.Int("j", runtime.NumCPU(), "max concurrent simulations (1 = serial)")
@@ -57,8 +60,8 @@ func main() {
 	)
 	prof := profiling.AddFlags()
 	flag.Parse()
-	if *engine != "skip" && *engine != "naive" {
-		fmt.Fprintf(os.Stderr, "fsexp: unknown -engine %q (want skip or naive)\n", *engine)
+	if *engine != "skip" && *engine != "naive" && *engine != "parallel" {
+		fmt.Fprintf(os.Stderr, "fsexp: unknown -engine %q (want skip, naive or parallel)\n", *engine)
 		os.Exit(1)
 	}
 	if err := prof.Start(); err != nil {
@@ -98,6 +101,7 @@ func main() {
 	// (e.g. every Baseline reference run) are simulated exactly once.
 	eng := fscoherence.NewRunner(*jobs)
 	eng.SetEngine(*engine)
+	eng.SetMachine(*cores, *topology, *shards)
 	if *verbose {
 		eng.SetProgress(func(bench string, opt fscoherence.Options, d time.Duration, err error) {
 			status := ""

@@ -52,15 +52,18 @@ func main() {
 		metrics  = flag.String("metrics", "", "write interval metrics CSV to this file")
 		filter   = flag.String("trace-filter", "", "restrict traced events: addr=0x...,core=N,class=net|l1|dir|detect|prv|commit|oracle")
 		counters = flag.Bool("counters", false, "print the canonical counter-name table and exit")
-		engine   = flag.String("engine", "skip", "simulation engine: skip (quiescence-skipping, default) | naive (cycle-stepped reference)")
+		engine   = flag.String("engine", "skip", "simulation engine: skip (quiescence-skipping, default) | naive (cycle-stepped reference) | parallel (conservative parallel)")
+		cores    = flag.Int("cores", 0, "scale the machine to this many cores (0 = Table II 8-core default; up to 256)")
+		topology = flag.String("topology", "", "interconnect: flat (default) | ring | mesh")
+		shards   = flag.Int("shards", 0, "parallel engine worker count (0 = one per 8 cores)")
 	)
 	prof := profiling.AddFlags()
 	flag.Parse()
 	if *mode != "" {
 		*protocol = *mode
 	}
-	if *engine != "skip" && *engine != "naive" {
-		fatal(fmt.Errorf("unknown -engine %q (want skip or naive)", *engine))
+	if *engine != "skip" && *engine != "naive" && *engine != "parallel" {
+		fatal(fmt.Errorf("unknown -engine %q (want skip, naive or parallel)", *engine))
 	}
 	if err := prof.Start(); err != nil {
 		fatal(err)
@@ -108,6 +111,7 @@ func main() {
 		}
 		eng := fscoherence.NewRunner(*jobs)
 		eng.SetEngine(*engine)
+		eng.SetMachine(*cores, *topology, *shards)
 		baseF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.Baseline)})
 		detF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.FSDetect)})
 		fslF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSLite, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.FSLite)})
@@ -124,7 +128,8 @@ func main() {
 		return
 	}
 
-	r := run(*bench, fscoherence.Options{Protocol: p, Variant: v, Scale: *scale, Verify: *verify, Engine: *engine, Obs: o})
+	r := run(*bench, fscoherence.Options{Protocol: p, Variant: v, Scale: *scale, Verify: *verify, Engine: *engine,
+		Cores: *cores, Topology: *topology, Shards: *shards, Obs: o})
 	writeObs(o, *traceOut, *metrics)
 	fmt.Printf("benchmark %s under %v (%s layout)\n", *bench, p, v)
 	fmt.Printf("cycles          %d\n", r.Cycles)

@@ -2,7 +2,6 @@ package coherence
 
 import (
 	"fmt"
-	"math/bits"
 
 	"fscoherence/internal/memsys"
 	"fscoherence/internal/network"
@@ -10,21 +9,8 @@ import (
 	"fscoherence/internal/stats"
 )
 
-// coreSet is a bitset of core indices (the simulator supports up to 64).
-type coreSet uint64
-
-func (s coreSet) has(c int) bool { return s&(1<<uint(c)) != 0 }
-func (s *coreSet) add(c int)     { *s |= 1 << uint(c) }
-func (s *coreSet) remove(c int)  { *s &^= 1 << uint(c) }
-func (s coreSet) count() int     { return bits.OnesCount64(uint64(s)) }
-func (s coreSet) empty() bool    { return s == 0 }
-func (s coreSet) forEach(fn func(c int)) {
-	for v := uint64(s); v != 0; {
-		c := bits.TrailingZeros64(v)
-		v &^= 1 << uint(c)
-		fn(c)
-	}
-}
+// coreSet is a bitset of core indices (up to memsys.MaxCores).
+type coreSet = memsys.CoreSet
 
 // dirTxnKind enumerates the directory's transient (busy) transactions.
 type dirTxnKind int
@@ -228,9 +214,9 @@ func (d *Dir) DebugString() string {
 		if ln.txn == nil && len(ln.pendq) == 0 {
 			return
 		}
-		s += fmt.Sprintf(" line{%v st=%v sh=%b", e.Tag, ln.state, ln.sharers)
+		s += fmt.Sprintf(" line{%v st=%v sh=%v", e.Tag, ln.state, ln.sharers)
 		if ln.txn != nil {
-			s += fmt.Sprintf(" txn{kind=%v expect=%b data=%v/%v pmmc?}", ln.txn.kind, ln.txn.expect, ln.txn.dataSeen, ln.txn.needOwnerData)
+			s += fmt.Sprintf(" txn{kind=%v expect=%v data=%v/%v pmmc?}", ln.txn.kind, ln.txn.expect, ln.txn.dataSeen, ln.txn.needOwnerData)
 			if d.policy != nil {
 				s += fmt.Sprintf(" pmmc=%d", d.policy.PendingMetadata(e.Tag))
 			}
@@ -559,7 +545,7 @@ func (d *Dir) serveGetS(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 			return
 		}
 		d.sendAfter(&network.Msg{Op: network.OpData, Dst: m.Requestor, Addr: e.Tag, Data: cloneBytes(line.data)}, d.dataLat())
-		line.sharers.add(core)
+		line.sharers.Add(core)
 	case DirOwned:
 		if line.owner == core {
 			panic(fmt.Sprintf("dir %d: GetS from current owner %d for %v", d.slice, core, e.Tag))
@@ -596,9 +582,9 @@ func (d *Dir) serveGetX(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 			return
 		}
 		others := line.sharers
-		others.remove(core) // a stale sharer entry for the requestor itself
-		n := others.count()
-		others.forEach(func(c int) {
+		others.Remove(core) // a stale sharer entry for the requestor itself
+		n := others.Count()
+		others.ForEach(func(c int) {
 			d.stats.IncID(stats.IDDirInval)
 			d.sendAfter(&network.Msg{Op: network.OpInv, Dst: d.params.L1Node(c), Addr: e.Tag, Requestor: m.Requestor, ReqMD: requestMD}, d.ctrlLat())
 		})
@@ -611,7 +597,7 @@ func (d *Dir) serveGetX(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 		d.sendAfter(&network.Msg{Op: network.OpDataExcl, Dst: m.Requestor, Addr: e.Tag, Data: cloneBytes(line.data), AckCount: n}, d.dataLat())
 		d.setState(e, DirOwned)
 		line.owner = core
-		line.sharers = 0
+		line.sharers = coreSet{}
 	case DirOwned:
 		if line.owner == core {
 			panic(fmt.Sprintf("dir %d: GetX from current owner %d for %v", d.slice, core, e.Tag))
@@ -635,16 +621,16 @@ func (d *Dir) serveGetX(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool
 func (d *Dir) serveUpgrade(e *memsys.Entry[dirLine], m *network.Msg, requestMD bool) {
 	line := &e.Payload
 	core := requestorCore(m)
-	if line.state != DirShared || !line.sharers.has(core) {
+	if line.state != DirShared || !line.sharers.Has(core) {
 		// The upgrader's S copy raced with another writer (or back-inval):
 		// it must retry as a full GetX (§V-E fig. 12 note).
 		d.sendAfter(&network.Msg{Op: network.OpUpgradeNack, Dst: m.Requestor, Addr: e.Tag}, d.ctrlLat())
 		return
 	}
 	others := line.sharers
-	others.remove(core)
-	n := others.count()
-	others.forEach(func(c int) {
+	others.Remove(core)
+	n := others.Count()
+	others.ForEach(func(c int) {
 		d.stats.IncID(stats.IDDirInval)
 		d.sendAfter(&network.Msg{Op: network.OpInv, Dst: d.params.L1Node(c), Addr: e.Tag, Requestor: m.Requestor, ReqMD: requestMD}, d.ctrlLat())
 	})
@@ -657,7 +643,7 @@ func (d *Dir) serveUpgrade(e *memsys.Entry[dirLine], m *network.Msg, requestMD b
 	d.sendAfter(&network.Msg{Op: network.OpUpgradeAck, Dst: m.Requestor, Addr: e.Tag, AckCount: n}, d.ctrlLat())
 	d.setState(e, DirOwned)
 	line.owner = core
-	line.sharers = 0
+	line.sharers = coreSet{}
 }
 
 // ---------------------------------------------------------------------------
@@ -668,7 +654,7 @@ func (d *Dir) serveChk(e *memsys.Entry[dirLine], m *network.Msg) {
 	line := &e.Payload
 	core := requestorCore(m)
 	write := m.Op == network.OpGetXCHK
-	if !line.sharers.has(core) {
+	if !line.sharers.Has(core) {
 		// A stale CHK from a previous privatized episode (the block was
 		// terminated and re-privatized while it was in flight): treat it as
 		// a demand request joining the new episode (§V-C).
@@ -698,11 +684,11 @@ func (d *Dir) servePrvDemand(e *memsys.Entry[dirLine], m *network.Msg) {
 	core := requestorCore(m)
 	write := m.Op == network.OpGetX || m.Op == network.OpUpgrade
 
-	if m.Op == network.OpUpgrade && !line.sharers.has(core) {
+	if m.Op == network.OpUpgrade && !line.sharers.Has(core) {
 		d.sendAfter(&network.Msg{Op: network.OpUpgradeNack, Dst: m.Requestor, Addr: e.Tag}, d.ctrlLat())
 		return
 	}
-	if m.Op != network.OpUpgrade && line.sharers.has(core) {
+	if m.Op != network.OpUpgrade && line.sharers.Has(core) {
 		panic(fmt.Sprintf("dir %d: demand %v from existing PRV sharer %d", d.slice, m.Op, core))
 	}
 
@@ -714,7 +700,7 @@ func (d *Dir) servePrvDemand(e *memsys.Entry[dirLine], m *network.Msg) {
 			if !d.ensureData(e, m) {
 				return
 			}
-			line.sharers.add(core)
+			line.sharers.Add(core)
 			d.sendAfter(&network.Msg{Op: network.OpDataPrv, Dst: m.Requestor, Addr: e.Tag, Data: cloneBytes(line.data)}, d.dataLat()+d.params.ChkCycles)
 		}
 		return
@@ -732,15 +718,15 @@ func (d *Dir) startPrvInit(e *memsys.Entry[dirLine], m *network.Msg) {
 	case DirShared:
 		targets = line.sharers
 	case DirOwned:
-		targets.add(line.owner)
+		targets.Add(line.owner)
 		needOwnerData = true
 	}
 	m.Retain()
 	txn := &dirTxn{kind: txnPrvInit, req: m, expect: targets, needOwnerData: needOwnerData}
 	line.txn = txn
 	d.pinLine(e.Tag)
-	d.policy.OnMetadataRequested(e.Tag, targets.count())
-	targets.forEach(func(c int) {
+	d.policy.OnMetadataRequested(e.Tag, targets.Count())
+	targets.ForEach(func(c int) {
 		d.sendAfter(&network.Msg{Op: network.OpTRPrv, Dst: d.params.L1Node(c), Addr: e.Tag, Requestor: m.Requestor}, d.ctrlLat())
 	})
 	d.maybeFinishPrvInit(e)
@@ -755,7 +741,7 @@ func (d *Dir) maybeFinishPrvInit(e *memsys.Entry[dirLine]) {
 	if txn == nil || txn.kind != txnPrvInit {
 		return
 	}
-	if !txn.expect.empty() || d.policy.PendingMetadata(e.Tag) != 0 {
+	if !txn.expect.Empty() || d.policy.PendingMetadata(e.Tag) != 0 {
 		return
 	}
 	if txn.needOwnerData && !txn.dataSeen {
@@ -775,12 +761,12 @@ func (d *Dir) maybeFinishPrvInit(e *memsys.Entry[dirLine]) {
 		// must be rolled back through the termination sequence; the
 		// triggering request is then served normally.
 		d.stats.IncID(stats.IDFSPrivAborted)
-		if txn.prvJoin.empty() {
+		if txn.prvJoin.Empty() {
 			line.txn = nil
 			d.unpinLine(e.Tag)
 			d.tracePrvAbort(e.Tag)
 			d.setState(e, DirIdle)
-			line.sharers = 0
+			line.sharers = coreSet{}
 			m.Counted = true
 			d.retryq = append(d.retryq, m)
 			d.drainPendq(line)
@@ -812,7 +798,7 @@ func (d *Dir) maybeFinishPrvInit(e *memsys.Entry[dirLine]) {
 		d.dataDir.Pin(e.Tag)
 	}
 	switch {
-	case m.Op == network.OpUpgrade && line.sharers.has(core):
+	case m.Op == network.OpUpgrade && line.sharers.Has(core):
 		// fig. 12: the upgrader already holds the block (now PRV).
 		d.policy.RecordBytes(e.Tag, core, m.TouchedOff, m.TouchedLen, write)
 		d.sendAfter(&network.Msg{Op: network.OpUpgAckPrv, Dst: m.Requestor, Addr: e.Tag}, d.ctrlLat())
@@ -823,7 +809,7 @@ func (d *Dir) maybeFinishPrvInit(e *memsys.Entry[dirLine]) {
 		d.sendAfter(&network.Msg{Op: network.OpUpgradeNack, Dst: m.Requestor, Addr: e.Tag}, d.ctrlLat())
 	default:
 		d.policy.RecordBytes(e.Tag, core, m.TouchedOff, m.TouchedLen, write)
-		line.sharers.add(core)
+		line.sharers.Add(core)
 		d.sendAfter(&network.Msg{Op: network.OpDataPrv, Dst: m.Requestor, Addr: e.Tag, Data: cloneBytes(line.data)}, d.dataLat())
 	}
 	m.Unretain()
@@ -855,11 +841,11 @@ func (d *Dir) startPrvTerm(e *memsys.Entry[dirLine], heldReq *network.Msg, evict
 		mergeBuf:   cloneBytes(line.data),
 		evictAfter: evictAfter,
 		termReason: reason,
-		termInvals: line.sharers.count(),
+		termInvals: line.sharers.Count(),
 	}
 	line.txn = txn
 	d.pinLine(e.Tag)
-	line.sharers.forEach(func(c int) {
+	line.sharers.ForEach(func(c int) {
 		d.sendAfter(&network.Msg{Op: network.OpInvPrv, Dst: d.params.L1Node(c), Addr: e.Tag}, d.ctrlLat())
 	})
 	d.maybeFinishPrvTerm(e)
@@ -868,7 +854,7 @@ func (d *Dir) startPrvTerm(e *memsys.Entry[dirLine], heldReq *network.Msg, evict
 func (d *Dir) maybeFinishPrvTerm(e *memsys.Entry[dirLine]) {
 	line := &e.Payload
 	txn := line.txn
-	if txn == nil || txn.kind != txnPrvTerm || !txn.expect.empty() {
+	if txn == nil || txn.kind != txnPrvTerm || !txn.expect.Empty() {
 		return
 	}
 	line.data = txn.mergeBuf
@@ -880,7 +866,7 @@ func (d *Dir) maybeFinishPrvTerm(e *memsys.Entry[dirLine]) {
 	if d.dataDir != nil {
 		d.dataDir.Unpin(e.Tag)
 	}
-	line.sharers = 0
+	line.sharers = coreSet{}
 	line.txn = nil
 	d.unpinLine(e.Tag)
 
@@ -963,8 +949,8 @@ func (d *Dir) onWB(m *network.Msg) {
 			line.dirty = true
 			d.touchData(e)
 		}
-		if txn.expect.has(src) {
-			txn.expect.remove(src)
+		if txn.expect.Has(src) {
+			txn.expect.Remove(src)
 		}
 		d.sendAfter(&network.Msg{Op: network.OpWBAck, Dst: m.Src, Addr: e.Tag}, d.ctrlLat())
 		d.maybeFinishEvict(e)
@@ -1040,7 +1026,7 @@ func (d *Dir) onPrvWB(m *network.Msg) {
 		// Merge the bytes whose last writer is the responder (§V-C).
 		d.mergePrvCopy(txn.mergeBuf, m, src, e.Tag)
 		d.tracePrvMerge(e.Tag, src)
-		txn.expect.remove(src)
+		txn.expect.Remove(src)
 		d.sendAfter(&network.Msg{Op: network.OpWBAck, Dst: m.Src, Addr: e.Tag}, d.ctrlLat())
 		d.maybeFinishPrvTerm(e)
 		return
@@ -1052,7 +1038,7 @@ func (d *Dir) onPrvWB(m *network.Msg) {
 		d.mergePrvCopy(line.data, m, src, e.Tag)
 		d.tracePrvMerge(e.Tag, src)
 		line.dirty = true
-		txn.prvJoin.remove(src)
+		txn.prvJoin.Remove(src)
 		d.sendAfter(&network.Msg{Op: network.OpWBAck, Dst: m.Src, Addr: e.Tag}, d.ctrlLat())
 		d.maybeFinishPrvInit(e)
 		return
@@ -1063,7 +1049,7 @@ func (d *Dir) onPrvWB(m *network.Msg) {
 		d.tracePrvMerge(e.Tag, src)
 		line.dirty = true
 		d.policy.OnPrvEviction(e.Tag, src)
-		line.sharers.remove(src)
+		line.sharers.Remove(src)
 		d.sendAfter(&network.Msg{Op: network.OpWBAck, Dst: m.Src, Addr: e.Tag}, d.ctrlLat())
 		return
 	}
@@ -1077,7 +1063,7 @@ func (d *Dir) onCtrlWB(m *network.Msg) {
 	if txn == nil || txn.kind != txnPrvTerm {
 		panic(fmt.Sprintf("dir %d: Ctrl_WB without termination", d.slice))
 	}
-	txn.expect.remove(requestorCore(m))
+	txn.expect.Remove(requestorCore(m))
 	d.maybeFinishPrvTerm(e)
 }
 
@@ -1096,7 +1082,7 @@ func (d *Dir) onInvAck(m *network.Msg) {
 		d.stats.Inc("dir.stray_acks")
 		return
 	}
-	txn.expect.remove(requestorCore(m))
+	txn.expect.Remove(requestorCore(m))
 	d.maybeFinishEvict(e)
 }
 
@@ -1110,7 +1096,7 @@ func (d *Dir) onXferOwnerAck(m *network.Msg) {
 	// Ownership moved to the requestor (GetX intervention complete).
 	line.state = DirOwned
 	line.owner = requestorCore(txn.req)
-	line.sharers = 0
+	line.sharers = coreSet{}
 	d.finishFwd(e, txn)
 }
 
@@ -1128,11 +1114,11 @@ func (d *Dir) onDataToDir(m *network.Msg) {
 		line.dirty = true
 		d.touchData(e)
 		d.setState(e, DirShared)
-		line.sharers = 0
+		line.sharers = coreSet{}
 		if !txn.wbRace {
-			line.sharers.add(txn.oldOwner)
+			line.sharers.Add(txn.oldOwner)
 		}
-		line.sharers.add(requestorCore(txn.req))
+		line.sharers.Add(requestorCore(txn.req))
 		d.finishFwd(e, txn)
 	case txnPrvInit:
 		line.data = cloneBytes(m.Data)
@@ -1151,7 +1137,7 @@ func (d *Dir) finishFwd(e *memsys.Entry[dirLine], txn *dirTxn) {
 		d.sendAfter(&network.Msg{Op: network.OpWBAck, Dst: d.params.L1Node(txn.oldOwner), Addr: e.Tag}, d.ctrlLat())
 		// The old owner's copy is gone; if it was recorded as a sharer
 		// (GetS path), remove it.
-		line.sharers.remove(txn.oldOwner)
+		line.sharers.Remove(txn.oldOwner)
 	}
 	line.txn = nil
 	d.unpinLine(e.Tag)
@@ -1187,10 +1173,10 @@ func (d *Dir) notePrvInitResponse(m *network.Msg) {
 		return
 	}
 	src := requestorCore(m)
-	if txn.expect.has(src) {
-		txn.expect.remove(src)
+	if txn.expect.Has(src) {
+		txn.expect.Remove(src)
 		if m.HasCopy {
-			txn.prvJoin.add(src)
+			txn.prvJoin.Add(src)
 		}
 	}
 	d.maybeFinishPrvInit(e)
@@ -1246,14 +1232,14 @@ func (d *Dir) startEvict(v *memsys.Entry[dirLine], m *network.Msg) bool {
 		txn := &dirTxn{kind: txnEvict, req: m, expect: line.sharers}
 		line.txn = txn
 		d.pinLine(v.Tag)
-		line.sharers.forEach(func(c int) {
+		line.sharers.ForEach(func(c int) {
 			d.sendAfter(&network.Msg{Op: network.OpInv, Dst: d.params.L1Node(c), Addr: v.Tag, Requestor: d.node}, d.ctrlLat())
 		})
 		return false
 	case DirOwned:
 		m.Retain()
 		txn := &dirTxn{kind: txnEvict, req: m}
-		txn.expect.add(line.owner)
+		txn.expect.Add(line.owner)
 		line.txn = txn
 		d.pinLine(v.Tag)
 		d.sendAfter(&network.Msg{Op: network.OpInv, Dst: d.params.L1Node(line.owner), Addr: v.Tag, Requestor: d.node, ToOwner: true}, d.ctrlLat())
@@ -1269,7 +1255,7 @@ func (d *Dir) startEvict(v *memsys.Entry[dirLine], m *network.Msg) bool {
 func (d *Dir) maybeFinishEvict(e *memsys.Entry[dirLine]) {
 	line := &e.Payload
 	txn := line.txn
-	if txn == nil || txn.kind != txnEvict || !txn.expect.empty() {
+	if txn == nil || txn.kind != txnEvict || !txn.expect.Empty() {
 		return
 	}
 	req := txn.req

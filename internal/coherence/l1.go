@@ -129,6 +129,12 @@ type L1 struct {
 	missHist *obs.Histogram
 
 	local []scheduledDone // local hits awaiting the hit latency
+
+	// valPool recycles the small (<= 8 byte) value buffers handed to commit
+	// callbacks. Done hooks, the tracer and the oracle all consume the bytes
+	// synchronously, so a buffer returns to the pool as soon as its callback
+	// has run; steady-state hit/miss commits then allocate nothing.
+	valPool [][]byte
 }
 
 // NewL1 builds the L1 controller for the given core. policy may be nil
@@ -423,6 +429,24 @@ func (l *L1) scheduleLocal(a *Access) {
 	l.local = append(l.local, scheduledDone{done: a.Done, value: val, at: l.now + l.params.L1HitCycles})
 }
 
+// getVal draws a value buffer from the pool (loads and atomics observe at
+// most 8 bytes).
+func (l *L1) getVal(n int) []byte {
+	if k := len(l.valPool); k > 0 {
+		b := l.valPool[k-1]
+		l.valPool = l.valPool[:k-1]
+		return b[:n]
+	}
+	return make([]byte, n, 8)
+}
+
+// putVal returns a commit-value buffer once its consumers have run.
+func (l *L1) putVal(b []byte) {
+	if cap(b) == 8 {
+		l.valPool = append(l.valPool, b[:8])
+	}
+}
+
 // startTxn allocates an MSHR and sends the request.
 func (l *L1) startTxn(a *Access, blk memsys.Addr, st mshrState, op network.Op) {
 	m := &mshr{addr: blk, state: st, access: a, start: l.now}
@@ -456,6 +480,9 @@ func (l *L1) Tick(now uint64) {
 		if sc.at <= now {
 			if sc.done != nil {
 				sc.done(sc.value)
+			}
+			if sc.value != nil {
+				l.putVal(sc.value)
 			}
 		} else {
 			keep = append(keep, sc)
@@ -514,7 +541,7 @@ func (l *L1) commitNow(a *Access, issue uint64) []byte {
 	line := &e.Payload
 	switch a.Kind {
 	case AccessLoad:
-		val := make([]byte, a.Size)
+		val := l.getVal(a.Size)
 		copy(val, line.data[off:off+a.Size])
 		if l.policy != nil {
 			l.policy.OnAccess(blk, off, a.Size, false)
@@ -537,7 +564,7 @@ func (l *L1) commitNow(a *Access, issue uint64) []byte {
 		return nil
 	case AccessReduce:
 		// Little-endian wrap-around accumulation over Size bytes.
-		delta := make([]byte, a.Size)
+		delta := l.getVal(a.Size)
 		d := a.Delta
 		for i := 0; i < a.Size; i++ {
 			delta[i] = byte(d)
@@ -553,9 +580,10 @@ func (l *L1) commitNow(a *Access, issue uint64) []byte {
 			l.obs.OnReduceCommit(l.core, a.Addr, delta)
 		}
 		l.stats.IncID(stats.IDReducesCommit)
+		l.putVal(delta)
 		return nil
 	case AccessAtomicRMW:
-		old := make([]byte, a.Size)
+		old := l.getVal(a.Size)
 		copy(old, line.data[off:off+a.Size])
 		next := a.RMW(old)
 		if len(next) != a.Size {
@@ -734,6 +762,9 @@ func (l *L1) finishTxn(m *mshr) {
 	val := l.commitNow(m.access, m.start)
 	if m.access.Done != nil {
 		m.access.Done(val)
+	}
+	if val != nil {
+		l.putVal(val)
 	}
 	for _, dm := range m.deferred {
 		l.redispatch(dm)

@@ -81,7 +81,23 @@ type Params struct {
 	// MaxMsgsPerCycle bounds how many incoming messages each controller
 	// processes per cycle (models controller occupancy).
 	MaxMsgsPerCycle int
+
+	// Topology selects the interconnect model: network.TopoFlat (default)
+	// is the paper's fixed-latency fabric; TopoRing and TopoMesh route over
+	// an on-chip network with HopLatency cycles per link traversal and
+	// per-link contention. The address-interleaved HomeSlice mapping is
+	// topology-independent.
+	Topology network.TopoKind
+
+	// HopLatency is the per-hop router+link latency for ring/mesh
+	// topologies (0 picks DefaultHopLatency; ignored when flat).
+	HopLatency uint64
 }
+
+// DefaultHopLatency is the per-hop latency used by ring/mesh topologies when
+// Params.HopLatency is zero: a few hops across the fabric cost about as much
+// as the flat fabric's fixed NetLatency.
+const DefaultHopLatency = 4
 
 // DefaultParams returns the Table II configuration with cache capacities
 // scaled down so the synthetic workloads exercise the same contention
@@ -119,6 +135,47 @@ func (p Params) HomeSlice(blockAddr uint64) int {
 
 // Nodes returns the total number of network endpoints.
 func (p Params) Nodes() int { return p.Cores + p.Slices }
+
+// HopLatencyOrDefault returns the effective per-hop latency for ring/mesh
+// topologies.
+func (p Params) HopLatencyOrDefault() uint64 {
+	if p.HopLatency != 0 {
+		return p.HopLatency
+	}
+	return DefaultHopLatency
+}
+
+// ApplyTopology installs p's topology on a freshly built network (no-op for
+// the flat fabric, keeping the seed configuration byte-identical).
+func (p Params) ApplyTopology(n *network.Network) {
+	if p.Topology != network.TopoFlat {
+		n.SetTopology(p.Topology, p.HopLatencyOrDefault(), p.Cores)
+	}
+}
+
+// ScaleToCores returns p resized to an n-core machine (n a power of two up
+// to memsys.MaxCores): one LLC/directory slice per 8 cores (minimum 8, so
+// the default 8-core machine keeps its Table II shape) with the total LLC
+// capacity growing half as fast as the core count — big machines have more
+// aggregate cache but less per core, matching how commercial CMPs scale.
+func (p Params) ScaleToCores(n int) Params {
+	if n <= 0 || n == p.Cores {
+		return p
+	}
+	out := p
+	out.Cores = n
+	slices := n / 8
+	if slices < 8 {
+		slices = 8
+	}
+	out.Slices = slices
+	// Keep per-slice capacity geometry valid: total LLC = default total x
+	// sqrt(n/8)-ish via halving per-slice entries once past 64 cores.
+	if n >= 64 {
+		out.LLCEntriesSlice = p.LLCEntriesSlice / 2
+	}
+	return out
+}
 
 func log2(v int) int {
 	n := 0

@@ -78,10 +78,10 @@ func DirTransientStates() []string {
 type DirEntry struct {
 	Addr    memsys.Addr
 	State   DirState
-	Owner   int    // valid when State == DirOwned
-	Sharers uint64 // core bitset: S sharers, or PRV sharers when State == DirPrv
-	Busy    bool   // a transaction is in progress on the entry
-	HasData bool   // the LLC data array holds the block
+	Owner   int            // valid when State == DirOwned
+	Sharers memsys.CoreSet // core bitset: S sharers, or PRV sharers when State == DirPrv
+	Busy    bool           // a transaction is in progress on the entry
+	HasData bool           // the LLC data array holds the block
 }
 
 // ForEachEntry visits a snapshot of every directory entry in this slice
@@ -94,7 +94,7 @@ func (d *Dir) ForEachEntry(fn func(DirEntry)) {
 			Addr:    e.Tag,
 			State:   ln.state,
 			Owner:   ln.owner,
-			Sharers: uint64(ln.sharers),
+			Sharers: ln.sharers,
 			Busy:    ln.txn != nil,
 			HasData: ln.hasData,
 		})

@@ -15,12 +15,14 @@ package core
 
 import (
 	"fscoherence/internal/coherence"
+	"fscoherence/internal/memsys"
 	"fscoherence/internal/obs"
 )
 
 // Config holds the FSDetect/FSLite tunables (Table II defaults).
 type Config struct {
-	// Cores is the number of cores (bounds reader bit-vectors; max 64).
+	// Cores is the number of cores (bounds reader bit-vectors; max
+	// memsys.MaxCores).
 	Cores int
 
 	// BlockSize is the cache line size in bytes.
@@ -98,8 +100,8 @@ func (c Config) grainRange(off, size int) (int, int) {
 }
 
 func (c Config) validate() {
-	if c.Cores <= 0 || c.Cores > 64 {
-		panic("core: Cores must be in 1..64")
+	if c.Cores <= 0 || c.Cores > memsys.MaxCores {
+		panic("core: Cores must be in 1..memsys.MaxCores")
 	}
 	switch c.Granularity {
 	case 1, 2, 4, 8:

@@ -295,7 +295,7 @@ func (d *DirSide) OnRepMD(addr memsys.Addr, core int, mdRead, mdWrite uint64) {
 		case wr && red:
 			// Writes within a declared reduction region are commutative
 			// accumulations: record the reduction writer, no true sharing.
-			e.redWriters[g] |= 1 << uint(core)
+			e.redWriters[g].Add(core)
 		case wr:
 			e.lastWriter[g] = int16(core)
 		}
@@ -395,7 +395,7 @@ func (d *DirSide) checkMixed(addr memsys.Addr, e *samEntry, core, lo, hi int, wr
 	for g := lo; g <= hi; g++ {
 		lw := e.lastWriter[g]
 		if d.grainInRegion(addr, g) {
-			foreignRed := e.redWriters[g]&^(1<<uint(core)) != 0
+			foreignRed := e.redWriters[g].HasOther(core)
 			if write {
 				if lw != noCore && lw != int16(core) {
 					return coherence.WriteWriteConflict // a non-reduction writer
@@ -439,7 +439,7 @@ func (d *DirSide) RecordBytes(addr memsys.Addr, core int, off, size int, write b
 	for g := lo; g <= hi; g++ {
 		switch {
 		case write && d.grainInRegion(addr, g):
-			e.redWriters[g] |= 1 << uint(core)
+			e.redWriters[g].Add(core)
 		case write:
 			e.lastWriter[g] = int16(core)
 		default:
@@ -499,7 +499,7 @@ func (d *DirSide) OnPrvEviction(addr memsys.Addr, core int) {
 		if e.lastWriter[g] == int16(core) {
 			e.lastWriter[g] = noCore
 		}
-		e.redWriters[g] &^= 1 << uint(core)
+		e.redWriters[g].Remove(core)
 	}
 }
 
@@ -565,7 +565,7 @@ func (d *DirSide) ReduceMask(addr memsys.Addr, core int) []bool {
 		return mask
 	}
 	for g := 0; g < d.cfg.grains(); g++ {
-		if e.redWriters[g]&(1<<uint(core)) != 0 {
+		if e.redWriters[g].Has(core) {
 			for b := g * d.cfg.Granularity; b < (g+1)*d.cfg.Granularity; b++ {
 				mask[b] = true
 			}

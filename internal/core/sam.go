@@ -15,7 +15,7 @@ type samEntry struct {
 	lastWriter []int16 // noCore when invalid
 
 	// Full reader tracking (bit per core).
-	readers []uint64
+	readers []memsys.CoreSet
 
 	// ReaderOpt tracking.
 	lastReader []int16
@@ -24,12 +24,12 @@ type samEntry struct {
 	// redWriters tracks reduction writers per grain (bit per core) for
 	// declared reduction regions (§VII): multiple reduction writers of the
 	// same grain are not a conflict, and their copies merge by summing.
-	redWriters []uint64
+	redWriters []memsys.CoreSet
 }
 
 func newSamEntry(cfg Config) *samEntry {
 	g := cfg.grains()
-	e := &samEntry{lastWriter: make([]int16, g), redWriters: make([]uint64, g)}
+	e := &samEntry{lastWriter: make([]int16, g), redWriters: make([]memsys.CoreSet, g)}
 	for i := range e.lastWriter {
 		e.lastWriter[i] = noCore
 	}
@@ -40,7 +40,7 @@ func newSamEntry(cfg Config) *samEntry {
 		}
 		e.overflow = make([]bool, g)
 	} else {
-		e.readers = make([]uint64, g)
+		e.readers = make([]memsys.CoreSet, g)
 	}
 	return e
 }
@@ -54,7 +54,7 @@ func (e *samEntry) addReader(cfg Config, g, core int) {
 		e.lastReader[g] = int16(core)
 		return
 	}
-	e.readers[g] |= 1 << uint(core)
+	e.readers[g].Add(core)
 }
 
 // hasOtherReader reports whether any core other than core has read grain g.
@@ -65,7 +65,7 @@ func (e *samEntry) hasOtherReader(cfg Config, g, core int) bool {
 		}
 		return e.lastReader[g] != noCore && e.lastReader[g] != int16(core)
 	}
-	return e.readers[g]&^(1<<uint(core)) != 0
+	return e.readers[g].HasOther(core)
 }
 
 // hasAnyReader reports whether any core has read grain g.
@@ -73,7 +73,7 @@ func (e *samEntry) hasAnyReader(cfg Config, g int) bool {
 	if cfg.ReaderOpt {
 		return e.lastReader[g] != noCore || e.overflow[g]
 	}
-	return e.readers[g] != 0
+	return !e.readers[g].Empty()
 }
 
 // readerSet returns the known reader cores of grain g (precise only without
@@ -87,11 +87,9 @@ func (e *samEntry) readerSet(cfg Config, g int) []int {
 		}
 		return out
 	}
-	for c := 0; c < cfg.Cores; c++ {
-		if e.readers[g]&(1<<uint(c)) != 0 {
-			out = append(out, c)
-		}
-	}
+	e.readers[g].ForEach(func(c int) {
+		out = append(out, c)
+	})
 	return out
 }
 
@@ -102,7 +100,7 @@ func (e *samEntry) clear(cfg Config) {
 		e.lastWriter[i] = noCore
 	}
 	for i := range e.redWriters {
-		e.redWriters[i] = 0
+		e.redWriters[i] = memsys.CoreSet{}
 	}
 	if cfg.ReaderOpt {
 		for i := range e.lastReader {
@@ -111,7 +109,7 @@ func (e *samEntry) clear(cfg Config) {
 		}
 	} else {
 		for i := range e.readers {
-			e.readers[i] = 0
+			e.readers[i] = memsys.CoreSet{}
 		}
 	}
 }

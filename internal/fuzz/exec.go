@@ -9,6 +9,7 @@ import (
 	"fscoherence/internal/coherence"
 	"fscoherence/internal/cpu"
 	"fscoherence/internal/memsys"
+	"fscoherence/internal/network"
 	"fscoherence/internal/sim"
 )
 
@@ -180,6 +181,17 @@ func config(p *Program, opt Options) (sim.Config, error) {
 		cfg.Params.L2Ways = 4
 	}
 	cfg.Params.NonInclusiveLLC = p.NonInclusive
+	if p.BigMachine {
+		// Applied after Hostile so the mesh machine keeps its 8 slices:
+		// recalls, metadata traffic and privatization control all route
+		// across the multi-slice directory under fault injection.
+		cfg.Params = cfg.Params.ScaleToCores(64)
+		cfg.Params.Topology = network.TopoMesh
+		if cfg.Params.LLCEntriesSlice > 64 {
+			cfg.Params.LLCEntriesSlice = 64
+			cfg.Params.LLCWays = 4
+		}
+	}
 	cfg.Faults = p.Faults.Plan()
 	if opt.Obs != nil {
 		opt.Obs(&cfg)

@@ -124,5 +124,10 @@ func Generate(seed uint64, protocol string) *Program {
 		}
 		p.Threads = append(p.Threads, ops)
 	}
+	// Big-machine cell: ~1 in 6 programs runs on a 64-core mesh with a
+	// sharded 8-slice LLC squeezed small enough that inclusion recalls cross
+	// slice boundaries constantly. Drawn last so the rest of the corpus is
+	// unchanged by the feature's introduction.
+	p.BigMachine = r.chance(1, 6)
 	return p
 }

@@ -32,7 +32,7 @@ type l1View struct {
 	em   []int // cores holding E or M
 	sh   []int // cores holding S
 	prv  []int // cores holding PRV
-	prvB uint64
+	prvB memsys.CoreSet
 }
 
 // quiescenceViolations cross-checks every directory entry against every L1
@@ -62,7 +62,7 @@ func quiescenceViolations(sys *sim.System, cores, slices int) []string {
 				v.sh = append(v.sh, core)
 			case coherence.L1Prv:
 				v.prv = append(v.prv, core)
-				v.prvB |= 1 << uint(core)
+				v.prvB.Add(core)
 			}
 		})
 	}
@@ -114,9 +114,9 @@ func quiescenceViolations(sys *sim.System, cores, slices int) []string {
 		if e.State == coherence.DirShared || e.State == coherence.DirPrv {
 			want := e.Sharers
 			for _, c := range append(append([]int{}, v.sh...), v.prv...) {
-				if want&(1<<uint(c)) == 0 {
-					report("block %v: core %d holds a copy but is not in the %v sharer set %b",
-						a, c, e.State, want)
+				if !want.Has(c) {
+					report("block %v: core %d holds a copy but is not in the %v sharer set %v",
+						a, c, e.State, &want)
 				}
 			}
 		}
@@ -137,7 +137,7 @@ func quiescenceViolations(sys *sim.System, cores, slices int) []string {
 		case coherence.DirPrv:
 			// Prv_WB evictions prune the set, so it is exact at quiescence.
 			if e.Sharers != v.prvB {
-				report("block %v: directory PRV sharers %b but PRV copies at %b", a, e.Sharers, v.prvB)
+				report("block %v: directory PRV sharers %v but PRV copies at %v", a, &e.Sharers, &v.prvB)
 			}
 		case coherence.DirIdle:
 			if len(v.em)+len(v.sh)+len(v.prv) > 0 {

@@ -172,6 +172,11 @@ type Program struct {
 	// UseReduction declares the reduction region and enables KReduce ops.
 	UseReduction bool `json:"reduction,omitempty"`
 
+	// BigMachine runs the program on a 64-core mesh machine with an
+	// 8-slice address-interleaved LLC (tiny per-slice capacity, so
+	// directory recalls constantly cross slice boundaries).
+	BigMachine bool `json:"bigMachine,omitempty"`
+
 	// Threads holds one operation list per worker thread (at most 7; one
 	// more core runs the checker).
 	Threads [][]OpSpec `json:"threads"`

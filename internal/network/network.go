@@ -129,7 +129,35 @@ type Network struct {
 
 	inflightNow int // messages currently queued (Pending, peak counter)
 
+	// occ lists inboxes that may be nonempty (lazily deleted as NextArrival
+	// finds them drained), with inOcc as the membership bitmap. It keeps
+	// NextArrival O(active destinations) instead of O(nodes) — decisive for
+	// the parallel engine, whose per-shard network fronts carry full-size
+	// inbox arrays but only ever queue messages for their few local nodes.
+	occ   []NodeID
+	inOcc []bool
+
 	free []*Msg // Msg freelist (NewMsg / Release)
+
+	// topo, when non-nil, routes messages over a ring or mesh NoC with
+	// per-hop latency and per-link contention instead of the flat
+	// fixed-latency fabric (see topology.go).
+	topo *topology
+
+	// rec, when non-nil, puts the network in deferred mode (parallel-engine
+	// shards): SendAfter records the operation instead of admitting it, and
+	// Recv logs each pop, so the barrier can replay all operations on the
+	// master network in global order (see Recorder).
+	rec *Recorder
+
+	// deliver, when non-nil, replaces the local inbox push at the end of
+	// SendAfter: the master network computes admission (seq, routing,
+	// contention, FIFO clamp, stats) and hands the routed message over —
+	// the parallel engine routes it into the owning shard's inbox.
+	deliver func(m *Msg, readyAt uint64)
+
+	// replayHeads is Replay's reusable merge cursor (0 allocs/op contract).
+	replayHeads []int
 
 	// faults, when non-nil, perturbs delivery latency deterministically
 	// (fuzzing; see faults.go). sabotage, when non-nil, mistreats one
@@ -145,6 +173,7 @@ func New(nodes int, latency uint64, blockSize int, st *stats.Set) *Network {
 		Latency:   latency,
 		nodes:     nodes,
 		inboxes:   make([]inbox, nodes),
+		inOcc:     make([]bool, nodes),
 		stats:     st,
 		bs:        blockSize,
 		lastReady: make(map[chanKey]uint64),
@@ -219,12 +248,25 @@ func (n *Network) SendAfter(m *Msg, extra uint64) {
 	if int(m.Dst) < 0 || int(m.Dst) >= n.nodes {
 		panic(fmt.Sprintf("network: bad destination %d (%v)", m.Dst, m))
 	}
+	if n.rec != nil {
+		n.rec.recordSend(m, extra)
+		return
+	}
 	n.seq++
 	m.Seq = n.seq
 	class := ClassOf(m.Op)
 	size := SizeOf(m.Op, n.bs)
 	serialization := uint64((size - HeaderBytes) / 16)
-	readyAt := n.now + n.Latency + extra + serialization
+	var readyAt uint64
+	if t := n.topo; t != nil {
+		var hops int
+		var wait uint64
+		readyAt, hops, wait = t.routeLatency(m.Src, m.Dst, n.now+extra, serialization+1)
+		n.stats.AddID(stats.IDNetHops, uint64(hops))
+		n.stats.AddID(stats.IDNetLinkWait, wait)
+	} else {
+		readyAt = n.now + n.Latency + extra + serialization
+	}
 	if n.faults.Enabled() {
 		readyAt = n.faults.perturb(readyAt, n.seq)
 	}
@@ -244,7 +286,12 @@ func (n *Network) SendAfter(m *Msg, extra uint64) {
 		readyAt = prev
 	}
 	n.lastReady[key] = readyAt
-	n.inboxes[m.Dst].push(inflight{msg: m, readyAt: readyAt})
+	if n.deliver != nil {
+		n.deliver(m, readyAt)
+	} else {
+		n.inboxes[m.Dst].push(inflight{msg: m, readyAt: readyAt})
+		n.noteOccupied(m.Dst)
+	}
 
 	n.stats.IncID(stats.IDNetMessages)
 	n.stats.AddID(stats.IDNetBytes, uint64(size))
@@ -273,6 +320,9 @@ func (n *Network) Recv(dst NodeID) *Msg {
 	}
 	m := q.pop()
 	n.inflightNow--
+	if n.rec != nil {
+		n.rec.recordRecv()
+	}
 	if t := n.tracer; t != nil {
 		core, slice := n.nodeTrack(dst)
 		t.Emit(obs.Event{
@@ -309,14 +359,26 @@ func (n *Network) PendingFor(dst NodeID) int { return n.inboxes[dst].n }
 // this as the network's wake-up report.
 func (n *Network) NextArrival() uint64 {
 	next := uint64(NoArrival)
-	for i := range n.inboxes {
-		q := &n.inboxes[i]
+	occ := n.occ[:0]
+	for _, d := range n.occ {
+		q := &n.inboxes[d]
 		if q.n == 0 {
+			n.inOcc[d] = false // drained since: lazy-delete
 			continue
 		}
+		occ = append(occ, d)
 		if r := q.front().readyAt; r < next {
 			next = r
 		}
 	}
+	n.occ = occ
 	return next
+}
+
+// noteOccupied registers dst in the nonempty-inbox list (idempotent).
+func (n *Network) noteOccupied(dst NodeID) {
+	if !n.inOcc[dst] {
+		n.inOcc[dst] = true
+		n.occ = append(n.occ, dst)
+	}
 }

@@ -33,6 +33,16 @@ const (
 	// EngineNaive ticks every component on every cycle — the reference loop
 	// the skipping engine is proven against (see TestEngineEquivalence).
 	EngineNaive
+
+	// EngineParallel is the conservative parallel discrete-event engine: it
+	// shards cores+L1s (and directory slices) across OS threads, each shard
+	// running its own quiescence-skipping loop over fixed lookahead epochs
+	// bounded by the network's minimum delivery latency, with all network
+	// traffic replayed in global order at epoch barriers (see parallel.go).
+	// Byte-identical to the sequential engines; configurations it cannot
+	// parallelize (fault injection, observability, verification oracles)
+	// fall back to EngineSkip at construction.
+	EngineParallel
 )
 
 // Config describes one simulation run.
@@ -42,6 +52,11 @@ type Config struct {
 
 	// Engine selects the simulation loop (default EngineSkip).
 	Engine Engine
+
+	// Shards is the worker-thread count for EngineParallel (0 picks a
+	// core-count-based default; ignored by the sequential engines). Results
+	// are byte-identical across all shard counts.
+	Shards int
 
 	// Core holds the FSDetect/FSLite tunables; ignored in Baseline mode.
 	// Cores/BlockSize/Mode are filled in from Params automatically.
@@ -151,6 +166,10 @@ type System struct {
 
 	// stopReason, when non-empty, aborts the run loop (RequestStop).
 	stopReason string
+
+	// par, when non-nil, holds the conservative parallel engine's shard
+	// structure (EngineParallel; see parallel.go).
+	par *parRunner
 }
 
 // SetCommitTrace installs a commit hook (testing/debugging). The hook is fed
@@ -237,6 +256,7 @@ func New(cfg Config, wl Workload) *System {
 		tracer:  cfg.Obs.GetTracer(),
 		metrics: cfg.Obs.GetMetrics(),
 	}
+	p.ApplyTopology(s.net)
 	s.net.SetTracer(s.tracer, p.Cores)
 	if cfg.Faults != nil {
 		s.net.SetFaults(cfg.Faults)
@@ -246,19 +266,52 @@ func New(cfg Config, wl Workload) *System {
 		s.oracle = memsys.NewOracle(p.BlockSize)
 	}
 
+	// The parallel engine gives every shard its own deferred-mode network
+	// front, stats set, clock and memory partition; configurations it cannot
+	// handle construct sequentially and run under EngineSkip instead.
+	if k := parallelShards(cfg); k > 0 {
+		s.par = newParRunner(s, k)
+	} else if cfg.Engine == EngineParallel {
+		s.cfg.Engine = EngineSkip
+	}
+	// netFor/statsFor/nowFor/memFor route each component's wiring to its
+	// owning shard (identity wiring under the sequential engines).
+	netFor := func(shard int) *network.Network { return s.net }
+	statsFor := func(shard int) *stats.Set { return st }
+	nowFor := func(shard int) func() uint64 {
+		return func() uint64 { return s.cycle }
+	}
+	memFor := func(shard int) *memsys.Memory { return s.mem }
+	shardOfCore := func(i int) int { return 0 }
+	shardOfSlice := func(j int) int { return 0 }
+	if s.par != nil {
+		netFor = func(shard int) *network.Network { return s.par.shards[shard].net }
+		statsFor = func(shard int) *stats.Set { return s.par.shards[shard].stats }
+		nowFor = func(shard int) func() uint64 {
+			sh := s.par.shards[shard]
+			return func() uint64 { return sh.clock }
+		}
+		memFor = func(shard int) *memsys.Memory { return s.par.shards[shard].mem }
+		shardOfCore = func(i int) int { return i * len(s.par.shards) / p.Cores }
+		shardOfSlice = func(j int) int { return j * len(s.par.shards) / p.Slices }
+	}
+
 	cc := cfg.Core
 	cc.Cores = p.Cores
 	cc.BlockSize = p.BlockSize
 	cc.Mode = cfg.Mode
-	cc.Now = func() uint64 { return s.cycle }
+	cc.Now = nowFor(0)
 	cc.Trace = s.tracer
 
 	for i := 0; i < p.Cores; i++ {
+		k := shardOfCore(i)
 		var pol coherence.L1Policy
 		if cfg.Mode != coherence.Baseline {
-			pol = core.NewPAM(cc, i, st)
+			ccl := cc
+			ccl.Now = nowFor(k)
+			pol = core.NewPAM(ccl, i, statsFor(k))
 		}
-		l1 := coherence.NewL1(i, p, cfg.Mode, s.net, pol, st, nil)
+		l1 := coherence.NewL1(i, p, cfg.Mode, netFor(k), pol, statsFor(k), nil)
 		if cfg.MSHRs > 1 {
 			l1.SetMaxMSHRs(cfg.MSHRs)
 		}
@@ -269,20 +322,24 @@ func New(cfg Config, wl Workload) *System {
 		s.ensureObserver()
 	}
 	for i := 0; i < p.Slices; i++ {
+		k := shardOfSlice(i)
 		var pol coherence.DirPolicy
 		if cfg.Mode != coherence.Baseline {
-			ds := core.NewDirSide(cc, i, st)
+			ccd := cc
+			ccd.Now = nowFor(k)
+			ds := core.NewDirSide(ccd, i, statsFor(k))
 			for _, r := range wl.ReductionRegions {
 				ds.RegisterReduction(r)
 			}
 			s.dirPolicies = append(s.dirPolicies, ds)
 			pol = ds
 		}
-		dir := coherence.NewDir(i, p, cfg.Mode, s.net, s.mem, pol, st)
+		dir := coherence.NewDir(i, p, cfg.Mode, netFor(k), memFor(k), pol, statsFor(k))
 		dir.SetObs(cfg.Obs)
 		s.dirs = append(s.dirs, dir)
 	}
 	for i := 0; i < p.Cores; i++ {
+		k := shardOfCore(i)
 		var fn cpu.ThreadFunc
 		if i < len(wl.Threads) {
 			fn = wl.Threads[i]
@@ -291,10 +348,13 @@ func New(cfg Config, wl Workload) *System {
 			fn = func(*cpu.Ctx) {}
 		}
 		if cfg.OOO {
-			s.cores = append(s.cores, cpu.NewOOO(i, s.l1s[i], fn, cfg.OOOWidth, cfg.ROBSize, st))
+			s.cores = append(s.cores, cpu.NewOOO(i, s.l1s[i], fn, cfg.OOOWidth, cfg.ROBSize, statsFor(k)))
 		} else {
-			s.cores = append(s.cores, cpu.NewInOrder(i, s.l1s[i], fn, st))
+			s.cores = append(s.cores, cpu.NewInOrder(i, s.l1s[i], fn, statsFor(k)))
 		}
+	}
+	if s.par != nil {
+		s.par.bind()
 	}
 	return s
 }
@@ -376,20 +436,32 @@ func (s *System) Run(name string) (*Result, error) {
 	if maxCycles == 0 {
 		maxCycles = 500_000_000
 	}
-	for {
-		s.cycle++
-		if s.cycle > maxCycles {
-			return nil, fmt.Errorf("%w at cycle %d (%s)", ErrDeadlock, s.cycle, name)
+	if s.par != nil {
+		if s.cycleHook != nil || s.observerInstalled {
+			panic("sim: cycle hooks and commit observers are not supported by EngineParallel")
 		}
-		s.stepCycle()
-		if s.stopReason != "" {
-			return nil, fmt.Errorf("%w: %s at cycle %d (%s)", ErrStopped, s.stopReason, s.cycle, name)
+		cycle, err := s.par.run(name, maxCycles)
+		if err != nil {
+			return nil, err
 		}
-		if s.done() {
-			break
-		}
-		if s.cfg.Engine == EngineSkip {
-			s.skipAhead(maxCycles)
+		s.cycle = cycle
+		s.par.mergeStats()
+	} else {
+		for {
+			s.cycle++
+			if s.cycle > maxCycles {
+				return nil, fmt.Errorf("%w at cycle %d (%s)", ErrDeadlock, s.cycle, name)
+			}
+			s.stepCycle()
+			if s.stopReason != "" {
+				return nil, fmt.Errorf("%w: %s at cycle %d (%s)", ErrStopped, s.stopReason, s.cycle, name)
+			}
+			if s.done() {
+				break
+			}
+			if s.cfg.Engine == EngineSkip {
+				s.skipAhead(maxCycles)
+			}
 		}
 	}
 	s.stats.SetID(stats.IDCycles, s.cycle)

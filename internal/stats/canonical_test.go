@@ -81,6 +81,8 @@ var ctrValueByIdent = map[string]string{
 	"CtrMemWrites":         CtrMemWrites,
 	"CtrNetMessages":       CtrNetMessages,
 	"CtrNetBytes":          CtrNetBytes,
+	"CtrNetHops":           CtrNetHops,
+	"CtrNetLinkWait":       CtrNetLinkWait,
 	"CtrNetInflightPeak":   CtrNetInflightPeak,
 	"CtrDirPendqPeak":      CtrDirPendqPeak,
 	"CtrFSDetected":        CtrFSDetected,

@@ -45,6 +45,8 @@ const (
 	IDMemWrites
 	IDNetMessages
 	IDNetBytes
+	IDNetHops
+	IDNetLinkWait
 	IDNetInflightPeak
 	IDDirPendqPeak
 	IDFSDetected
@@ -100,6 +102,8 @@ var idNames = [NumIDs]string{
 	IDMemWrites:         CtrMemWrites,
 	IDNetMessages:       CtrNetMessages,
 	IDNetBytes:          CtrNetBytes,
+	IDNetHops:           CtrNetHops,
+	IDNetLinkWait:       CtrNetLinkWait,
 	IDNetInflightPeak:   CtrNetInflightPeak,
 	IDDirPendqPeak:      CtrDirPendqPeak,
 	IDFSDetected:        CtrFSDetected,
@@ -408,6 +412,10 @@ const (
 	CtrNetMessages = "net.messages"
 	CtrNetBytes    = "net.bytes"
 
+	// NoC topology counters (zero under the flat interconnect).
+	CtrNetHops     = "net.hops"
+	CtrNetLinkWait = "net.link_wait"
+
 	// High-water marks (max semantics on Merge; see PeakSuffix).
 	CtrNetInflightPeak = "net.inflight" + PeakSuffix
 	CtrDirPendqPeak    = "dir.pendq" + PeakSuffix
@@ -477,6 +485,8 @@ func Canonical() []Counter {
 		{CtrMemWrites, "main-memory write accesses"},
 		{CtrNetMessages, "interconnect messages sent"},
 		{CtrNetBytes, "interconnect payload bytes sent"},
+		{CtrNetHops, "router-to-router link traversals (ring/mesh topologies)"},
+		{CtrNetLinkWait, "cycles messages waited for busy NoC links (contention)"},
 		{CtrNetInflightPeak, "peak messages simultaneously in flight (max on merge)"},
 		{CtrDirPendqPeak, "peak depth of any directory pending queue (max on merge)"},
 		{CtrFSDetected, "lines FSDetect classified as falsely shared"},

@@ -1,0 +1,48 @@
+package workload
+
+import "fscoherence/internal/cpu"
+
+// uGRID — the big-machine scaling workload. Threads are packed eight to a
+// cache line: each thread atomically increments its own 8-byte slot of its
+// group's line (classic write-write false sharing inside the group, no
+// sharing across groups), interleaved with private streaming traffic and a
+// compute phase so cores have idle spans between misses — the shape of a
+// worker loop that updates a shared per-thread counter between chunks of
+// real work. The group structure tiles to any core count — on a 256-core
+// mesh it produces 32 independent false-sharing hot lines whose home slices
+// spread across the sharded LLC — while the padded variant spreads slots one
+// per line and eliminates the contention, preserving the Fig. 14a
+// default-vs-padded comparison shape.
+func buildMicroGrid(v Variant, s Scale, n int) []cpu.ThreadFunc {
+	if n <= 0 {
+		n = threadsFS
+	}
+	const per = 8 // threads falsely sharing each line
+	a := NewArena()
+	groups := (n + per - 1) / per
+	iters := s.n(300)
+	var ths []cpu.ThreadFunc
+	for g := 0; g < groups; g++ {
+		cnt := n - g*per
+		if cnt > per {
+			cnt = per
+		}
+		slots := a.Array(per, 8, strideFor(v, 8, true))
+		for t := 0; t < cnt; t++ {
+			slot := slots[t]
+			priv := a.privateRegion(4)
+			ths = append(ths, func(c *cpu.Ctx) {
+				for i := 0; i < iters; i++ {
+					c.AtomicAdd(slot, 8, 1)
+					streamTouch(c, priv, i%4, 4)
+					c.Compute(24)
+				}
+			})
+		}
+	}
+	return ths
+}
+
+func init() {
+	register(&Spec{Name: "uGRID", Full: "micro big-machine FS grid", Suite: "micro", FalseSharing: true, Threads: threadsFS, BuildN: buildMicroGrid})
+}

@@ -90,6 +90,11 @@ type Spec struct {
 	// BuildR, when set, replaces Build for workloads that declare §VII
 	// reduction regions alongside their threads.
 	BuildR func(v Variant, s Scale) ([]cpu.ThreadFunc, []coherence.AddrRange)
+
+	// BuildN, when set, marks a machine-scalable workload: it builds one
+	// thread per core for any requested core count (big-machine configs;
+	// see BuildFullN). Build remains the fixed default-machine shape.
+	BuildN func(v Variant, s Scale, threads int) []cpu.ThreadFunc
 }
 
 // registry holds all benchmark models keyed by code.
@@ -98,6 +103,11 @@ var registry = map[string]*Spec{}
 func register(s *Spec) {
 	if _, dup := registry[s.Name]; dup {
 		panic("workload: duplicate benchmark " + s.Name)
+	}
+	if s.Build == nil && s.BuildN != nil {
+		s.Build = func(v Variant, sc Scale) []cpu.ThreadFunc {
+			return s.BuildN(v, sc, s.Threads)
+		}
 	}
 	if s.Build == nil && s.BuildR != nil {
 		s.Build = func(v Variant, sc Scale) []cpu.ThreadFunc {
@@ -114,6 +124,16 @@ func (s *Spec) BuildFull(v Variant, sc Scale) ([]cpu.ThreadFunc, []coherence.Add
 		return s.BuildR(v, sc)
 	}
 	return s.Build(v, sc), nil
+}
+
+// BuildFullN builds threads for an n-core machine. Scalable workloads
+// (BuildN) populate every core; fixed-shape workloads keep their calibrated
+// thread count and leave the remaining cores idle.
+func (s *Spec) BuildFullN(v Variant, sc Scale, n int) ([]cpu.ThreadFunc, []coherence.AddrRange) {
+	if s.BuildN != nil && n > 0 {
+		return s.BuildN(v, sc, n), nil
+	}
+	return s.BuildFull(v, sc)
 }
 
 // ByName returns the benchmark model with the given code.

@@ -6,6 +6,8 @@ import (
 	"fscoherence/internal/coherence"
 	"fscoherence/internal/core"
 	"fscoherence/internal/energy"
+	"fscoherence/internal/memsys"
+	"fscoherence/internal/network"
 	"fscoherence/internal/obs"
 	"fscoherence/internal/sim"
 	"fscoherence/internal/stats"
@@ -87,8 +89,27 @@ type Options struct {
 
 	// Engine selects the simulation loop: "" or "skip" for the quiescence-
 	// skipping engine (the default), "naive" for the cycle-stepped reference
-	// loop. Both are cycle-exact and produce byte-identical results.
+	// loop, "parallel" for the conservative parallel engine (shards the
+	// machine across OS threads; falls back to skip for configurations it
+	// cannot shard — fault plans, observability, oracles). All three are
+	// cycle-exact and produce byte-identical results.
 	Engine string
+
+	// Cores scales the machine to an n-core big-machine configuration
+	// (power of two up to 256; 0 = the Table II 8-core default). Slice
+	// count and LLC capacity scale with it (see coherence.ScaleToCores).
+	// Machine-scalable workloads populate every core; fixed-shape ones
+	// keep their calibrated thread count.
+	Cores int
+
+	// Topology selects the interconnect: "" or "flat" for the paper's
+	// fixed-latency fabric, "ring" or "mesh" for an on-chip network with
+	// per-hop latency and link contention.
+	Topology string
+
+	// Shards overrides the parallel engine's worker count (0 = one shard
+	// per 8 cores). Ignored by the sequential engines.
+	Shards int
 
 	// Obs attaches the unified observability layer (event tracing and
 	// interval metrics) to the run. Options stays comparable — the pointer
@@ -161,6 +182,25 @@ func (r *Result) NormalizedEnergy(base *Result) float64 {
 	return r.Energy / base.Energy
 }
 
+// validateMachine rejects unsupported machine-shape options with an error,
+// so the CLIs report bad -engine/-topology/-cores values cleanly instead of
+// panicking (buildConfig's panics remain as backstops for callers that
+// bypass Run).
+func validateMachine(opt Options) error {
+	switch opt.Engine {
+	case "", "skip", "naive", "parallel":
+	default:
+		return fmt.Errorf("unknown engine %q (want \"skip\", \"naive\" or \"parallel\")", opt.Engine)
+	}
+	if _, err := network.ParseTopoKind(opt.Topology); err != nil {
+		return err
+	}
+	if c := opt.Cores; c != 0 && (c < 1 || c > memsys.MaxCores || c&(c-1) != 0) {
+		return fmt.Errorf("unsupported core count %d (want a power of two up to %d)", c, memsys.MaxCores)
+	}
+	return nil
+}
+
 // buildConfig translates Options into the simulator configuration.
 func buildConfig(opt Options) sim.Config {
 	cfg := sim.DefaultConfig(opt.Protocol)
@@ -200,9 +240,20 @@ func buildConfig(opt Options) sim.Config {
 		cfg.Engine = sim.EngineSkip
 	case "naive":
 		cfg.Engine = sim.EngineNaive
+	case "parallel":
+		cfg.Engine = sim.EngineParallel
 	default:
-		panic(fmt.Sprintf("fscoherence: unknown engine %q (want \"skip\" or \"naive\")", opt.Engine))
+		panic(fmt.Sprintf("fscoherence: unknown engine %q (want \"skip\", \"naive\" or \"parallel\")", opt.Engine))
 	}
+	if opt.Cores > 0 {
+		cfg.Params = cfg.Params.ScaleToCores(opt.Cores)
+	}
+	kind, err := network.ParseTopoKind(opt.Topology)
+	if err != nil {
+		panic(fmt.Sprintf("fscoherence: %v", err))
+	}
+	cfg.Params.Topology = kind
+	cfg.Shards = opt.Shards
 	cfg.Obs = opt.Obs
 	return cfg
 }
@@ -222,10 +273,13 @@ func Run(bench string, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := validateMachine(opt); err != nil {
+		return nil, err
+	}
 	if opt.Scale == 0 {
 		opt.Scale = 1
 	}
-	threads, regions := spec.BuildFull(opt.Variant, workload.Scale(opt.Scale))
+	threads, regions := spec.BuildFullN(opt.Variant, workload.Scale(opt.Scale), opt.Cores)
 	cfg := buildConfig(opt)
 	system := sim.New(cfg, sim.Workload{Name: bench, Threads: threads, ReductionRegions: regions})
 	res, err := system.Run(bench)

@@ -14,6 +14,29 @@ func TestRunUnknownBenchmark(t *testing.T) {
 	}
 }
 
+func TestRunRejectsBadMachineOptions(t *testing.T) {
+	for _, opt := range []Options{
+		{Engine: "bogus"},
+		{Topology: "torus"},
+		{Cores: 100},
+		{Cores: -8},
+		{Cores: 512},
+	} {
+		if _, err := Run("RC", opt); err == nil {
+			t.Errorf("Run(RC, %+v) must error", opt)
+		}
+	}
+	// Boundary shapes stay legal.
+	for _, opt := range []Options{
+		{Cores: 8, Topology: "flat", Scale: 0.05},
+		{Cores: 16, Topology: "ring", Engine: "parallel", Scale: 0.05},
+	} {
+		if _, err := Run("uWW", opt); err != nil {
+			t.Errorf("Run(uWW, %+v): %v", opt, err)
+		}
+	}
+}
+
 func TestRunProducesConsistentResult(t *testing.T) {
 	r, err := Run("RC", Options{Protocol: Baseline, Scale: testScale})
 	if err != nil {

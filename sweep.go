@@ -23,8 +23,11 @@ import (
 // NewRunner(1) executes cells inline in submission order, reproducing the
 // historical serial harness exactly.
 type Runner struct {
-	eng    *runner.Engine
-	engine string
+	eng      *runner.Engine
+	engine   string
+	cores    int
+	topology string
+	shards   int
 }
 
 // cellKey identifies one simulation cell. Options contains only comparable
@@ -52,6 +55,14 @@ func (r *Runner) Workers() int { return r.eng.Workers() }
 // rerun entire tables under the naive reference loop; results are identical
 // either way (the engines are proven equivalent), only wall-clock differs.
 func (r *Runner) SetEngine(engine string) { r.engine = engine }
+
+// SetMachine sets default machine-shape fields (core count, interconnect
+// topology, parallel shard count) applied to submitted cells that do not
+// specify them. cmd/fsexp's -cores/-topology/-shards flags use it to rerun
+// entire tables on big-machine configurations.
+func (r *Runner) SetMachine(cores int, topology string, shards int) {
+	r.cores, r.topology, r.shards = cores, topology, shards
+}
 
 // SetProgress installs a per-cell completion callback (timing report).
 // Calls are serialized by the engine.
@@ -81,6 +92,18 @@ func (r *Runner) Submit(bench string, opt Options) *Future {
 	}
 	if opt.Engine == "" {
 		opt.Engine = "skip"
+	}
+	if opt.Cores == 0 {
+		opt.Cores = r.cores
+	}
+	if opt.Topology == "" {
+		opt.Topology = r.topology
+	}
+	if opt.Topology == "flat" {
+		opt.Topology = "" // one cell for the two spellings of the default
+	}
+	if opt.Shards == 0 {
+		opt.Shards = r.shards
 	}
 	key := cellKey{Bench: bench, Opt: opt}
 	h := r.eng.Do(key, func(uint64) (any, error) {
