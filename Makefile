@@ -10,7 +10,13 @@
 #   make race    — race-detector pass only.
 #   make equiv   — cross-engine equivalence tests only.
 #   make bench   — run the Benchmark* suite (-benchmem, one iteration each)
-#                  and capture the parsed results into BENCH_3.json.
+#                  and capture the parsed results into BENCH_5.json.
+#   make benchdiff — compare BENCH_5.json against the previous snapshot
+#                  (BENCH_4.json); fails on a >15% regression in any tracked
+#                  deterministic metric (allocs/op, B/op, modelled results —
+#                  wall-clock ns/op is excluded as CI noise). Part of make ci;
+#                  skipped with a notice if BENCH_5.json has not been
+#                  captured on this machine.
 #   make sweep   — regenerate the paper's tables with the parallel engine.
 #   make fuzzsmoke — CI-sized protocol fuzzing: a fixed 60-seed corpus across
 #                  all three protocols under fault injection, plus the oracle
@@ -21,9 +27,9 @@ GO ?= go
 GOFMT ?= gofmt
 SEEDS ?= 200
 
-.PHONY: ci check fmt test race equiv allocsmoke bench sweep fuzz fuzzsmoke
+.PHONY: ci check fmt test race equiv allocsmoke bench benchdiff sweep fuzz fuzzsmoke
 
-ci: check race equiv allocsmoke fuzzsmoke
+ci: check race equiv allocsmoke fuzzsmoke benchdiff
 
 check: fmt test
 
@@ -49,14 +55,25 @@ race:
 equiv:
 	$(GO) test -run 'TestEngine' -count=1 .
 
-# The steady-state network round trip and the parallel engine's epoch loop
-# must not allocate; the benchmark's allocs/op plus the three tests gate it.
+# The steady-state network round trip, the parallel engine's epoch loop and
+# the disabled forensics recorder must not allocate; the benchmark's
+# allocs/op plus the four tests gate it.
 allocsmoke:
 	$(GO) test -run 'TestSendRecvDoesNotAllocate|TestReplayDoesNotAllocate' -bench 'BenchmarkNetSendRecv' -benchmem -benchtime=1x -count=1 ./internal/network/
 	$(GO) test -run 'TestParallelEpochDoesNotAllocate' -count=1 ./internal/sim/
+	$(GO) test -run 'TestForensicsDisabledDoesNotAllocate' -count=1 ./internal/forensics/
 
 bench:
-	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' ./... | $(GO) run ./cmd/benchjson -out BENCH_4.json
+	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' ./... | $(GO) run ./cmd/benchjson -out BENCH_5.json
+
+# Regression gate over the checked-in snapshots. BENCH_5.json is machine-
+# dependent, so the diff only runs when a local capture exists.
+benchdiff:
+	@if [ -f BENCH_5.json ]; then \
+		$(GO) run ./cmd/benchjson -diff BENCH_5.json -prev BENCH_4.json; \
+	else \
+		echo "benchdiff: BENCH_5.json not captured (run 'make bench' first); skipping"; \
+	fi
 
 sweep:
 	$(GO) run ./cmd/fsexp -all

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// diffMode compares two snapshot files and fails (exit 1) on regressions
+// beyond the threshold. Wall-clock metrics (ns/op and friends) are excluded
+// — CI machines are too noisy for them — so the gate tracks the
+// deterministic cells: allocs/op, B/op and the custom ReportMetric series
+// the figure benchmarks emit (modelled cycles, speedups, hit rates).
+//
+// Direction: metrics whose name contains "speedup" or ends in "hits" are
+// higher-is-better; everything else (allocations, bytes, modelled cycles,
+// misses) is lower-is-better. A tracked metric that was zero in the
+// baseline and is now nonzero counts as a regression (a zero-alloc path
+// started allocating).
+
+// trackedMetric reports whether a metric participates in the regression
+// gate, and whether larger values are better.
+func trackedMetric(name string) (tracked, higherBetter bool) {
+	switch {
+	case strings.HasSuffix(name, "ns/op"), strings.HasSuffix(name, "ns/run"),
+		strings.Contains(name, "wall"), strings.HasSuffix(name, "/s"):
+		// ns/op and per-second rates are wall-clock derived: too noisy on
+		// shared CI machines to gate on.
+		return false, false
+	case strings.Contains(name, "speedup"), strings.HasSuffix(name, "hits"):
+		return true, true
+	default:
+		return true, false
+	}
+}
+
+// diffRegression is one tracked cell that moved past the threshold.
+type diffRegression struct {
+	bench, metric string
+	old, new      float64
+	pct           float64
+}
+
+func runDiff(newPath, prevPath string, thresholdPct float64) int {
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	prevSnap, err := readSnapshot(prevPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	prev := map[string]Bench{}
+	for _, b := range prevSnap.Benchmarks {
+		prev[b.Pkg+"/"+b.Name] = b
+	}
+
+	var regs []diffRegression
+	compared, missing := 0, 0
+	for _, nb := range newSnap.Benchmarks {
+		pb, ok := prev[nb.Pkg+"/"+nb.Name]
+		if !ok {
+			missing++
+			continue
+		}
+		names := make([]string, 0, len(nb.Metrics))
+		for name := range nb.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tracked, higher := trackedMetric(name)
+			if !tracked {
+				continue
+			}
+			ov, ok := pb.Metrics[name]
+			if !ok {
+				continue
+			}
+			nv := nb.Metrics[name]
+			compared++
+			var worsePct float64
+			switch {
+			case ov == nv:
+				continue
+			case ov == 0:
+				// A zero baseline that went nonzero in a lower-is-better
+				// metric is a regression of unbounded relative size.
+				if higher || nv == 0 {
+					continue
+				}
+				worsePct = 100
+			case higher:
+				worsePct = 100 * (ov - nv) / ov
+			default:
+				worsePct = 100 * (nv - ov) / ov
+			}
+			if worsePct > thresholdPct {
+				regs = append(regs, diffRegression{nb.Name, name, ov, nv, worsePct})
+			}
+		}
+	}
+
+	fmt.Printf("benchjson diff: %s vs %s — %d tracked cells compared", newPath, prevPath, compared)
+	if missing > 0 {
+		fmt.Printf(" (%d new benchmarks without a baseline)", missing)
+	}
+	fmt.Println()
+	if len(regs) == 0 {
+		fmt.Printf("no regression beyond %.0f%%\n", thresholdPct)
+		return 0
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].pct > regs[j].pct })
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %-40s %-24s %g -> %g (%.1f%% worse)\n", r.bench, r.metric, r.old, r.new, r.pct)
+	}
+	fmt.Printf("%d regression(s) beyond %.0f%%\n", len(regs), thresholdPct)
+	return 1
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}

@@ -9,6 +9,12 @@
 // Usage:
 //
 //	go test -bench . -benchmem -run '^$' ./... | benchjson -out BENCH_3.json
+//
+// With -diff it compares two snapshots instead and exits 1 when a tracked
+// deterministic metric (allocs/op, B/op, custom ReportMetric series — not
+// wall-clock ns/op) regressed beyond -threshold percent:
+//
+//	benchjson -diff BENCH_5.json -prev BENCH_4.json
 package main
 
 import (
@@ -43,7 +49,17 @@ type Bench struct {
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	note := flag.String("note", "captured by make bench (-benchtime=1x)", "free-form provenance note")
+	diff := flag.String("diff", "", "compare this snapshot file against -prev instead of reading stdin")
+	prev := flag.String("prev", "", "baseline snapshot file for -diff")
+	threshold := flag.Float64("threshold", 15, "regression threshold in percent for -diff")
 	flag.Parse()
+
+	if *diff != "" {
+		if *prev == "" {
+			fatal(fmt.Errorf("-diff requires -prev BASELINE.json"))
+		}
+		os.Exit(runDiff(*diff, *prev, *threshold))
+	}
 
 	snap := Snapshot{Note: *note, GoVersion: runtime.Version()}
 	pkg := ""

@@ -46,6 +46,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
 		jobs     = flag.Int("j", runtime.NumCPU(), "max concurrent simulations (1 = serial)")
 		verbose  = flag.Bool("v", false, "report each simulation cell's timing on stderr")
+		progress = flag.String("progress", "", "stream JSONL progress records (one per cell) to this file; - for stderr")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
 		csv      = flag.Bool("csv", false, "emit CSV (artifact format)")
 		outDir   = flag.String("out", "", "also write one CSV per experiment into this directory")
@@ -102,6 +103,19 @@ func main() {
 	eng := fscoherence.NewRunner(*jobs)
 	eng.SetEngine(*engine)
 	eng.SetMachine(*cores, *topology, *shards)
+	if *progress != "" {
+		w := os.Stderr
+		if *progress != "-" {
+			fh, err := os.Create(*progress)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fsexp:", err)
+				os.Exit(1)
+			}
+			defer fh.Close()
+			w = fh
+		}
+		eng.SetStream(w)
+	}
 	if *verbose {
 		eng.SetProgress(func(bench string, opt fscoherence.Options, d time.Duration, err error) {
 			status := ""

@@ -41,6 +41,7 @@ func main() {
 		stall    = flag.Uint64("stall", 0, "watchdog stall threshold in cycles (0 = default)")
 		budget   = flag.Int("shrink", 0, "shrinker execution budget per failure (0 = default)")
 		traceOut = flag.String("trace", "", "replay only: write Chrome trace-event JSON (open in Perfetto)")
+		progress = flag.String("progress", "", "stream JSONL progress records (one per case) to this file; - for stderr")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 	case *self:
 		os.Exit(selfcheck(opt, *budget))
 	default:
-		os.Exit(campaign(*seeds, *start, *seed, *protocol, *out, *jobs, *budget, opt))
+		os.Exit(campaign(*seeds, *start, *seed, *protocol, *out, *jobs, *budget, *progress, opt))
 	}
 }
 
@@ -68,7 +69,7 @@ func protocols(flag string) ([]string, error) {
 	return nil, fmt.Errorf("unknown protocol %q (want all, baseline, fsdetect or fslite)", flag)
 }
 
-func campaign(seeds int, start, one uint64, protoFlag, out string, jobs, budget int, opt fuzz.Options) int {
+func campaign(seeds int, start, one uint64, protoFlag, out string, jobs, budget int, progress string, opt fuzz.Options) int {
 	protos, err := protocols(protoFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsfuzz:", err)
@@ -77,14 +78,29 @@ func campaign(seeds int, start, one uint64, protoFlag, out string, jobs, budget 
 	if one != 0 {
 		start, seeds = one, 1
 	}
+	var stream *os.File
+	if progress == "-" {
+		stream = os.Stderr
+	} else if progress != "" {
+		stream, err = os.Create(progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsfuzz:", err)
+			return 2
+		}
+		defer stream.Close()
+	}
 	fmt.Printf("fuzzing %d seed(s) x %v with fault injection\n", seeds, protos)
-	res := fuzz.Campaign(fuzz.CampaignConfig{
+	cfg := fuzz.CampaignConfig{
 		StartSeed: start, Seeds: seeds, Protocols: protos,
 		Opt: opt, Jobs: jobs, ShrinkBudget: budget,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
-	})
+	}
+	if stream != nil {
+		cfg.Stream = stream
+	}
+	res := fuzz.Campaign(cfg)
 	fmt.Printf("%d cases, %d simulated cycles, %d failure(s)\n",
 		res.Cases, res.TotalCycles, len(res.Failures))
 	if len(res.Failures) == 0 {

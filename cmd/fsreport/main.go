@@ -10,6 +10,7 @@
 //	fsreport -bench LR
 //	fsreport -bench LR -json
 //	fsreport -bench LR -trace out.json -metrics out.csv
+//	fsreport -bench RC -html report.html
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		traceOut = flag.String("trace", "", "also write the FSDetect run's Chrome trace-event JSON to this file")
 		metrics  = flag.String("metrics", "", "also write the FSDetect run's interval metrics CSV to this file")
 		filter   = flag.String("trace-filter", "", "override the trace filter (default: detector events only)")
+		htmlOut  = flag.String("html", "", "write a self-contained HTML forensics report (heatmaps, timelines, accuracy) to this file")
 	)
 	flag.Parse()
 
@@ -85,6 +87,25 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *htmlOut != "" {
+		data, err := buildHTMLData(*bench, *variant, v, *scale, rep)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeHTML(f, data); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[html report: %d detail lines, %d accuracy rows -> %s]\n",
+			len(data.Lines), len(data.Accuracy), *htmlOut)
 	}
 
 	if *asJSON {

@@ -19,8 +19,9 @@
 //	fsrun -bench RC -compare -j 3
 //	fsrun -bench RC -engine naive               # cycle-stepped reference
 //	fsrun -bench RC -cpuprofile cpu.out         # pprof the run
+//	fsrun -bench RC -compare -counters          # line-comparable counter dump
 //	fsrun -list
-//	fsrun -counters
+//	fsrun -counter-table
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"fscoherence"
@@ -51,7 +53,8 @@ func main() {
 		traceOut = flag.String("trace", "", "write Chrome trace-event JSON to this file (open in Perfetto)")
 		metrics  = flag.String("metrics", "", "write interval metrics CSV to this file")
 		filter   = flag.String("trace-filter", "", "restrict traced events: addr=0x...,core=N,class=net|l1|dir|detect|prv|commit|oracle")
-		counters = flag.Bool("counters", false, "print the canonical counter-name table and exit")
+		counters = flag.Bool("counters", false, "after the run, dump every canonical counter (zeros included) in sorted order")
+		ctrTable = flag.Bool("counter-table", false, "print the canonical counter-name documentation table and exit")
 		engine   = flag.String("engine", "skip", "simulation engine: skip (quiescence-skipping, default) | naive (cycle-stepped reference) | parallel (conservative parallel)")
 		cores    = flag.Int("cores", 0, "scale the machine to this many cores (0 = Table II 8-core default; up to 256)")
 		topology = flag.String("topology", "", "interconnect: flat (default) | ring | mesh")
@@ -70,7 +73,7 @@ func main() {
 	}
 	defer prof.Stop()
 
-	if *counters {
+	if *ctrTable {
 		fmt.Printf("| %-24s | %s |\n|%s|%s|\n", "Counter", "Meaning", strings.Repeat("-", 26), strings.Repeat("-", 60))
 		for _, c := range stats.Canonical() {
 			fmt.Printf("| %-24s | %s |\n", "`"+c.Name+"`", c.Desc)
@@ -124,6 +127,9 @@ func main() {
 				r.Stats.Get("net.messages"), r.NormalizedEnergy(base))
 		}
 		printDetections(fsl)
+		if *counters {
+			printCounterColumns([]*fscoherence.Result{base, det, fsl})
+		}
 		writeObs(o, *traceOut, *metrics)
 		return
 	}
@@ -140,9 +146,32 @@ func main() {
 	fmt.Printf("privatizations  %d, terminations %d\n", r.Stats.Get("fs.privatizations"), r.Stats.Get("fs.terminations"))
 	fmt.Printf("energy          %.0f\n", r.Energy)
 	printDetections(r)
+	if *counters {
+		printCounterColumns([]*fscoherence.Result{r})
+	}
 	if *full {
 		fmt.Println("\ncounters:")
 		fmt.Print(r.Stats.String())
+	}
+}
+
+// printCounterColumns dumps every canonical counter — zeros included — in
+// sorted name order, one column per result. The fixed name set and ordering
+// make two dumps line-comparable: `diff` or `paste` aligns counter-for-
+// counter across runs, protocols and engines.
+func printCounterColumns(rs []*fscoherence.Result) {
+	names := make([]string, 0, len(stats.Canonical()))
+	for _, c := range stats.Canonical() {
+		names = append(names, c.Name)
+	}
+	sort.Strings(names)
+	fmt.Println("\ncounters (canonical, sorted, zeros included):")
+	for _, n := range names {
+		fmt.Printf("%-24s", n)
+		for _, r := range rs {
+			fmt.Printf(" %12d", r.Stats.Get(n))
+		}
+		fmt.Println()
 	}
 }
 

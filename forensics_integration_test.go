@@ -1,0 +1,124 @@
+package fscoherence
+
+import (
+	"testing"
+
+	"fscoherence/internal/forensics"
+)
+
+// TestForensicsPrecisionRecall is the accuracy acceptance gate: on workloads
+// with known ground truth, the detector must find at least 90% of the
+// contended falsely-shared lines (recall), and most of what it flags must
+// really be falsely shared (precision). BS is deliberately absent — its lock
+// pool is mixed true+false sharing, excluded from scoring by construction.
+func TestForensicsPrecisionRecall(t *testing.T) {
+	for _, bench := range []string{"RC", "uWW", "uRW", "uPH", "LL"} {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			rec := forensics.New()
+			res, err := Run(bench, Options{Protocol: FSDetect, Forensics: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := forensics.Score(rec, res.GroundTruth)
+			if acc.Positives == 0 {
+				t.Fatalf("%s: no contended falsely-shared lines exercised", bench)
+			}
+			if acc.Recall < 0.9 {
+				t.Errorf("%s: recall %.2f < 0.9 (TP=%d FN=%d of %d positives)",
+					bench, acc.Recall, acc.TP, acc.FN, acc.Positives)
+			}
+			if acc.Precision < 0.9 {
+				t.Errorf("%s: precision %.2f < 0.9 (TP=%d FP=%d)",
+					bench, acc.Precision, acc.TP, acc.FP)
+			}
+			if acc.TP > 0 && acc.MeanTTD <= 0 {
+				t.Errorf("%s: mean time-to-detection %.0f, want > 0", bench, acc.MeanTTD)
+			}
+		})
+	}
+}
+
+// TestForensicsTrueSharingControl: on the true-sharing control workload the
+// detector must not flag the shared word, and the ground truth must carry
+// the shared label for it.
+func TestForensicsTrueSharingControl(t *testing.T) {
+	rec := forensics.New()
+	res, err := Run("uTS", Options{Protocol: FSDetect, Forensics: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := forensics.Score(rec, res.GroundTruth)
+	if acc.FP != 0 {
+		t.Errorf("uTS: %d false positives, want 0", acc.FP)
+	}
+	if res.GroundTruth.Count(forensics.LabelShared) == 0 {
+		t.Error("uTS ground truth has no truly-shared lines")
+	}
+}
+
+// TestForensicsRepairEfficacy: under FSLite the hammered RC line must be
+// privatized, and the recorder's before/after attribution must show the
+// invalidation traffic collapsing during the repaired phase.
+func TestForensicsRepairEfficacy(t *testing.T) {
+	rec := forensics.New()
+	if _, err := Run("RC", Options{Protocol: FSLite, Forensics: rec}); err != nil {
+		t.Fatal(err)
+	}
+	var repaired *forensics.Line
+	for _, ln := range rec.Lines() {
+		if ln.PrvEpisodes > 0 {
+			repaired = ln
+			break
+		}
+	}
+	if repaired == nil {
+		t.Fatal("FSLite run privatized no line")
+	}
+	if repaired.InvBefore == 0 {
+		t.Error("no invalidations recorded before privatization")
+	}
+	dets, _ := repaired.DetectCycle()
+	if dets == 0 {
+		t.Error("privatized line has no detect decision in its timeline")
+	}
+	// The episode begin must also appear on the timeline.
+	found := false
+	for _, d := range repaired.Timeline {
+		if d.Kind == forensics.DecPrvBegin {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("timeline lacks a prv-begin decision")
+	}
+	// Byte×core heatmap: the falsely shared line must show at least two
+	// cores touching disjoint bytes.
+	if cores := repaired.Cores(); len(cores) < 2 {
+		t.Errorf("heatmap shows %d cores on the privatized line, want >= 2", len(cores))
+	}
+}
+
+// TestForensicsOffByDefault: attaching forensics must not change simulated
+// timing or counters — the recorder is an observer, not a participant.
+func TestForensicsOffByDefault(t *testing.T) {
+	plain, err := Run("RC", Options{Protocol: FSLite, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := forensics.New()
+	with, err := Run("RC", Options{Protocol: FSLite, Scale: 0.2, Forensics: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != with.Cycles {
+		t.Fatalf("forensics perturbed the run: %d vs %d cycles", plain.Cycles, with.Cycles)
+	}
+	if len(rec.Lines()) == 0 {
+		t.Fatal("recorder attached but empty")
+	}
+	if plain.Forensics != nil || plain.GroundTruth == nil {
+		t.Fatal("plain run: Forensics must be nil, GroundTruth populated")
+	}
+}

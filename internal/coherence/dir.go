@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 
+	"fscoherence/internal/forensics"
 	"fscoherence/internal/memsys"
 	"fscoherence/internal/network"
 	"fscoherence/internal/obs"
@@ -108,10 +109,12 @@ type Dir struct {
 	// sized) LLC data array when the directory is sparse/non-inclusive.
 	dataDir *memsys.SetAssoc[struct{}]
 
-	// Observability attachments (nil when disabled; see SetObs).
+	// Observability attachments (nil when disabled; see SetObs and
+	// SetForensics).
 	trace          *obs.Tracer
 	episodeHist    *obs.Histogram
 	episodeInvHist *obs.Histogram
+	forensics      *forensics.Recorder
 
 	// peekForced, when the policy implements ForcedTerminationPeeker, reports
 	// how many forced terminations the policy has queued without draining
@@ -263,6 +266,7 @@ func (d *Dir) send(m *network.Msg) {
 	pm := d.net.NewMsg()
 	*pm = *m
 	pm.Src = d.node
+	d.noteInvalidation(pm)
 	d.net.Send(pm)
 }
 
@@ -270,7 +274,28 @@ func (d *Dir) sendAfter(m *network.Msg, extra uint64) {
 	pm := d.net.NewMsg()
 	*pm = *m
 	pm.Src = d.node
+	d.noteInvalidation(pm)
 	d.net.SendAfter(pm, extra)
+}
+
+// noteInvalidation feeds the forensics recorder every message that costs a
+// core its copy or exclusivity of a line — plain and PRV invalidations plus
+// forwarded-exclusive interventions — attributing it to the target core.
+// The before/after-privatization split of these counts is the recorder's
+// repair-efficacy signal.
+func (d *Dir) noteInvalidation(m *network.Msg) {
+	f := d.forensics
+	if f == nil {
+		return
+	}
+	switch m.Op {
+	case network.OpInv, network.OpInvPrv, network.OpFwdGetX:
+		core := -1
+		if int(m.Dst) < d.params.Cores {
+			core = int(m.Dst)
+		}
+		f.OnInvalidation(m.Addr, core, d.now)
+	}
 }
 
 // pinLine/unpinLine protect a block's directory entry (and its data slot in
@@ -786,9 +811,7 @@ func (d *Dir) maybeFinishPrvInit(e *memsys.Entry[dirLine]) {
 	d.policy.OnPrivatize(e.Tag)
 	d.setState(e, DirPrv)
 	line.prvSince = d.now
-	if t := d.trace; t != nil {
-		t.Emit(obs.Event{Cycle: d.now, Kind: obs.KindPrvBegin, Core: -1, Slice: int16(d.slice), Addr: e.Tag, Arg: uint64(core)})
-	}
+	d.tracePrvBegin(e.Tag, core)
 	line.sharers = txn.prvJoin
 	line.txn = nil
 	d.unpinLine(e.Tag)
@@ -861,6 +884,11 @@ func (d *Dir) maybeFinishPrvTerm(e *memsys.Entry[dirLine]) {
 	line.dirty = true
 	d.touchData(e)
 	d.policy.OnTerminate(e.Tag)
+	// Episode length accrues here (every real termination passes through),
+	// NOT in tracePrvTerminate: FinalizeObs synthesizes terminations for
+	// episodes still open at run end only when observability is attached,
+	// and counters must not depend on attachment.
+	d.stats.AddID(stats.IDFSPrvCycles, d.now-line.prvSince)
 	d.tracePrvTerminate(e, txn.termReason, txn.termInvals)
 	d.setState(e, DirIdle)
 	if d.dataDir != nil {

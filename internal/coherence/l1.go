@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 
+	"fscoherence/internal/forensics"
 	"fscoherence/internal/memsys"
 	"fscoherence/internal/network"
 	"fscoherence/internal/obs"
@@ -124,9 +125,11 @@ type L1 struct {
 	obs      Observer
 	now      uint64
 
-	// Observability attachments (nil when disabled; see SetObs).
-	trace    *obs.Tracer
-	missHist *obs.Histogram
+	// Observability attachments (nil when disabled; see SetObs and
+	// SetForensics).
+	trace     *obs.Tracer
+	missHist  *obs.Histogram
+	forensics *forensics.Recorder
 
 	local []scheduledDone // local hits awaiting the hit latency
 
@@ -538,6 +541,9 @@ func (l *L1) commitNow(a *Access, issue uint64) []byte {
 		panic(fmt.Sprintf("l1 %d: commit to non-resident %v", l.core, blk))
 	}
 	off := a.Addr.BlockOffset(l.params.BlockSize)
+	if f := l.forensics; f != nil {
+		f.OnAccess(blk, l.core, off, a.Size, a.Kind != AccessLoad, l.now)
+	}
 	line := &e.Payload
 	switch a.Kind {
 	case AccessLoad:
@@ -759,6 +765,9 @@ func (l *L1) finishTxn(m *mshr) {
 	delete(l.mshrs, m.addr)
 	l.cache.Unpin(m.addr)
 	l.missHist.Observe(l.now - m.start)
+	if f := l.forensics; f != nil {
+		f.OnMiss(m.addr, l.core, l.now-m.start, l.now)
+	}
 	val := l.commitNow(m.access, m.start)
 	if m.access.Done != nil {
 		m.access.Done(val)
@@ -804,6 +813,9 @@ func (l *L1) onData(m *network.Msg) {
 		if tx.invAfterFill {
 			// Use-once: commit the load from the message payload, stay I.
 			l.missHist.Observe(l.now - tx.start)
+			if f := l.forensics; f != nil {
+				f.OnMiss(tx.addr, l.core, l.now-tx.start, l.now)
+			}
 			l.commitFromBuffer(tx, m.Data)
 			delete(l.mshrs, m.Addr)
 			for _, dm := range tx.deferred {
@@ -861,6 +873,9 @@ func (l *L1) commitFromBuffer(tx *mshr, data []byte) {
 		panic("l1: use-once fill for a write")
 	}
 	off := a.Addr.BlockOffset(l.params.BlockSize)
+	if f := l.forensics; f != nil {
+		f.OnAccess(a.Addr.BlockAlign(l.params.BlockSize), l.core, off, a.Size, false, l.now)
+	}
 	val := make([]byte, a.Size)
 	copy(val, data[off:off+a.Size])
 	if l.obs != nil {

@@ -1,8 +1,10 @@
 package coherence
 
 import (
+	"fscoherence/internal/forensics"
 	"fscoherence/internal/memsys"
 	"fscoherence/internal/obs"
+	"fscoherence/internal/stats"
 )
 
 // Pre-interned "From->To" transition labels, indexed by state pair, so that
@@ -43,6 +45,14 @@ func (l *L1) SetObs(o *obs.Obs) {
 // uses this to attach commit tracing lazily).
 func (l *L1) SetObserver(ob Observer) { l.obs = ob }
 
+// SetForensics attaches the per-line flight recorder to this L1 (nil
+// disables; the default). Must be called before the first Tick.
+func (l *L1) SetForensics(f *forensics.Recorder) { l.forensics = f }
+
+// SetForensics attaches the per-line flight recorder to this directory
+// slice (nil disables; the default). Must be called before the first Tick.
+func (d *Dir) SetForensics(f *forensics.Recorder) { d.forensics = f }
+
 // traceState records an L1 line state transition.
 func (l *L1) traceState(blk memsys.Addr, from, to L1State) {
 	if t := l.trace; t != nil && from != to {
@@ -67,17 +77,35 @@ func (d *Dir) setState(e *memsys.Entry[dirLine], to DirState) {
 	e.Payload.state = to
 }
 
+// tracePrvBegin records the start of a privatized episode (core is the
+// requestor that triggered it).
+func (d *Dir) tracePrvBegin(blk memsys.Addr, core int) {
+	if t := d.trace; t != nil {
+		t.Emit(obs.Event{Cycle: d.now, Kind: obs.KindPrvBegin, Core: -1, Slice: int16(d.slice), Addr: blk, Arg: uint64(core)})
+	}
+	if f := d.forensics; f != nil {
+		f.OnDecision(blk, forensics.DecPrvBegin, core, "", 0, d.now)
+	}
+}
+
 // tracePrvAbort records an aborted privatization initiation.
 func (d *Dir) tracePrvAbort(blk memsys.Addr) {
 	if t := d.trace; t != nil {
 		t.Emit(obs.Event{Cycle: d.now, Kind: obs.KindPrvAbort, Core: -1, Slice: int16(d.slice), Addr: blk})
 	}
+	if f := d.forensics; f != nil {
+		f.OnDecision(blk, forensics.DecPrvAbort, -1, "", 0, d.now)
+	}
 }
 
 // tracePrvMerge records one core's privatized copy being byte-merged.
 func (d *Dir) tracePrvMerge(blk memsys.Addr, core int) {
+	d.stats.IncID(stats.IDFSPrvMerges)
 	if t := d.trace; t != nil {
 		t.Emit(obs.Event{Cycle: d.now, Kind: obs.KindPrvMerge, Core: int16(core), Slice: int16(d.slice), Addr: blk})
+	}
+	if f := d.forensics; f != nil {
+		f.OnDecision(blk, forensics.DecPrvMerge, core, "", 0, d.now)
 	}
 }
 
@@ -93,6 +121,9 @@ func (d *Dir) tracePrvTerminate(e *memsys.Entry[dirLine], reason string, invals 
 			Addr: e.Tag, Name: reason, Arg: length, Arg2: uint64(invals),
 		})
 	}
+	if f := d.forensics; f != nil {
+		f.OnDecision(e.Tag, forensics.DecPrvTerminate, -1, reason, length, d.now)
+	}
 }
 
 // FinalizeObs closes observability for episodes still open when the run
@@ -101,7 +132,7 @@ func (d *Dir) tracePrvTerminate(e *memsys.Entry[dirLine], reason string, invals 
 // begin/terminate pair per episode and episode-length statistics include
 // episodes that outlive the workload.
 func (d *Dir) FinalizeObs(now uint64) {
-	if d.trace == nil && d.episodeHist == nil {
+	if d.trace == nil && d.episodeHist == nil && d.forensics == nil {
 		return
 	}
 	d.now = now

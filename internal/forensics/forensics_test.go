@@ -1,0 +1,199 @@
+package forensics
+
+import (
+	"testing"
+
+	"fscoherence/internal/memsys"
+)
+
+func TestGroundTruthMarkReplaces(t *testing.T) {
+	gt := NewGroundTruth(64)
+	gt.Mark(0x100000, 64, LabelPrivate)
+	gt.Mark(0x100000, 64, LabelShared)
+	if got := gt.Label(0x100008); got != LabelShared {
+		t.Fatalf("label after re-mark = %v, want shared", got)
+	}
+	// Marks cover every overlapped line, at any alignment.
+	gt.Mark(0x100030, 32, LabelFalse)
+	if gt.Label(0x100000) != LabelFalse || gt.Label(0x100040) != LabelFalse {
+		t.Fatalf("unaligned mark missed a line: %v / %v",
+			gt.Label(0x100000), gt.Label(0x100040))
+	}
+	if n := len(gt.Lines()); n != 2 {
+		t.Fatalf("lines = %d, want 2", n)
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	cases := map[Label]string{
+		LabelPrivate:              "private",
+		LabelShared:               "true-sharing",
+		LabelFalse:                "false-sharing",
+		LabelShared | LabelFalse:  "mixed",
+		LabelPrivate | LabelFalse: "mixed",
+		0:                         "unlabeled",
+	}
+	for l, want := range cases {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}
+
+func TestRecorderHeatAndTimeline(t *testing.T) {
+	r := New()
+	r.Begin(64, 8)
+	const blk = memsys.Addr(0x200000)
+	r.OnAccess(blk, 0, 0, 8, true, 10)
+	r.OnAccess(blk, 0, 0, 8, true, 12)
+	r.OnAccess(blk, 3, 8, 8, false, 14)
+	ln := r.Line(blk + 5) // any address inside the line resolves
+	if ln == nil {
+		t.Fatal("line not recorded")
+	}
+	if ln.FirstCycle != 10 || ln.LastCycle != 14 {
+		t.Fatalf("cycle bounds [%d,%d], want [10,14]", ln.FirstCycle, ln.LastCycle)
+	}
+	if ln.Reads != 1 || ln.Writes != 2 {
+		t.Fatalf("reads/writes = %d/%d, want 1/2", ln.Reads, ln.Writes)
+	}
+	if h := ln.Heat(0); h[0] != 2 || h[7] != 2 || h[8] != 0 {
+		t.Fatalf("core-0 heat = %v", h[:9])
+	}
+	if h := ln.Heat(3); h[8] != 1 {
+		t.Fatalf("core-3 heat byte 8 = %d, want 1", h[8])
+	}
+	if got := ln.Cores(); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("cores = %v, want [0 3]", got)
+	}
+	if w := ln.Writers(); len(w) != 1 || w[0] != 0 {
+		t.Fatalf("writers = %v, want [0]", w)
+	}
+	if !ln.Contended() {
+		t.Fatal("two cores + a write must count as contended")
+	}
+
+	r.OnDecision(blk, DecDetect, -1, "", 1, 20)
+	r.OnDecision(blk, DecPrvBegin, 2, "", 0, 30)
+	r.OnDecision(blk, DecPrvTerminate, -1, "conflict", 15, 45)
+	if len(ln.Timeline) != 3 || ln.Timeline[2].Cause != "conflict" {
+		t.Fatalf("timeline = %+v", ln.Timeline)
+	}
+	if c, ok := ln.DetectCycle(); !ok || c != 20 {
+		t.Fatalf("detect cycle = %d/%v, want 20/true", c, ok)
+	}
+	if ln.PrvCycle != 30 || ln.PrvEpisodes != 1 {
+		t.Fatalf("prv cycle/episodes = %d/%d, want 30/1", ln.PrvCycle, ln.PrvEpisodes)
+	}
+}
+
+func TestRecorderBeforeAfterSplit(t *testing.T) {
+	r := New()
+	r.Begin(64, 4)
+	const blk = memsys.Addr(0x300000)
+	r.OnInvalidation(blk, 1, 5)
+	r.OnMiss(blk, 1, 40, 6)
+	r.OnDecision(blk, DecPrvBegin, 0, "", 0, 10)
+	r.OnInvalidation(blk, 2, 15)
+	r.OnMiss(blk, 2, 40, 16)
+	r.OnMiss(blk, 3, 60, 17)
+	ln := r.Line(blk)
+	if ln.InvBefore != 1 || ln.InvAfter != 1 {
+		t.Fatalf("inv before/after = %d/%d, want 1/1", ln.InvBefore, ln.InvAfter)
+	}
+	if ln.MissBefore != 1 || ln.MissAfter != 2 {
+		t.Fatalf("miss before/after = %d/%d, want 1/2", ln.MissBefore, ln.MissAfter)
+	}
+	if ln.MissCyclesBefore != 40 || ln.MissCyclesAfter != 100 {
+		t.Fatalf("miss cycles before/after = %d/%d, want 40/100",
+			ln.MissCyclesBefore, ln.MissCyclesAfter)
+	}
+}
+
+// score builds a recorder exercising four ground-truth lines: a detected FS
+// line (TP), an undetected contended FS line (FN), a detected truly shared
+// line (FP), and a detected mixed line (excluded).
+func scoreFixture() (*Recorder, *GroundTruth) {
+	gt := NewGroundTruth(64)
+	r := New()
+	r.Begin(64, 4)
+	contend := func(blk memsys.Addr) {
+		r.OnAccess(blk, 0, 0, 8, true, 100)
+		r.OnAccess(blk, 1, 8, 8, true, 110)
+	}
+
+	gt.Mark(0x1000, 64, LabelFalse) // TP: contended, detected at 150
+	contend(0x1000)
+	r.OnDecision(0x1000, DecDetect, -1, "", 1, 150)
+
+	gt.Mark(0x2000, 64, LabelFalse) // FN: contended, never detected
+	contend(0x2000)
+
+	gt.Mark(0x3000, 64, LabelShared) // FP: truly shared but detected
+	contend(0x3000)
+	r.OnDecision(0x3000, DecDetect, -1, "", 1, 160)
+
+	gt.Mark(0x4000, 64, LabelShared|LabelFalse) // mixed: not scored
+	contend(0x4000)
+	r.OnDecision(0x4000, DecDetect, -1, "", 1, 170)
+
+	gt.Mark(0x5000, 64, LabelFalse) // uncontended FS: not a positive
+	r.OnAccess(0x5000, 0, 0, 8, true, 100)
+
+	// Detection outside the ground truth: reported, not scored.
+	contend(0x6000)
+	r.OnDecision(0x6000, DecDetect, -1, "", 1, 180)
+	return r, gt
+}
+
+func TestScore(t *testing.T) {
+	r, gt := scoreFixture()
+	a := Score(r, gt)
+	if a.TP != 1 || a.FP != 1 || a.FN != 1 || a.Mixed != 1 || a.Unlabeled != 1 {
+		t.Fatalf("TP/FP/FN/Mixed/Unlabeled = %d/%d/%d/%d/%d, want 1/1/1/1/1",
+			a.TP, a.FP, a.FN, a.Mixed, a.Unlabeled)
+	}
+	if a.LabeledFS != 3 || a.Positives != 2 {
+		t.Fatalf("labeledFS/positives = %d/%d, want 3/2", a.LabeledFS, a.Positives)
+	}
+	if a.Precision != 0.5 || a.Recall != 0.5 {
+		t.Fatalf("precision/recall = %v/%v, want 0.5/0.5", a.Precision, a.Recall)
+	}
+	if a.MeanTTD != 50 { // detected at 150, first access at 100
+		t.Fatalf("mean TTD = %v, want 50", a.MeanTTD)
+	}
+}
+
+func TestScoreVacuous(t *testing.T) {
+	a := Score(nil, nil)
+	if a.Precision != 1 || a.Recall != 1 {
+		t.Fatalf("vacuous precision/recall = %v/%v, want 1/1", a.Precision, a.Recall)
+	}
+	r := New()
+	r.Begin(64, 4)
+	a = Score(r, NewGroundTruth(64))
+	if a.Precision != 1 || a.Recall != 1 {
+		t.Fatalf("empty precision/recall = %v/%v, want 1/1", a.Precision, a.Recall)
+	}
+}
+
+// TestForensicsDisabledDoesNotAllocate is the allocsmoke gate for the
+// recorder's disabled path: a nil *Recorder must make every hook a no-op
+// with zero allocations, so attaching forensics only when asked keeps the
+// simulation hot path allocation-free.
+func TestForensicsDisabledDoesNotAllocate(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Begin(64, 8)
+		r.OnAccess(0x1000, 1, 0, 8, true, 1)
+		r.OnMiss(0x1000, 1, 40, 2)
+		r.OnInvalidation(0x1000, 2, 3)
+		r.OnDecision(0x1000, DecDetect, -1, "", 1, 4)
+		if r.Lines() != nil || r.Line(0x1000) != nil || r.BlockSize() != 0 {
+			t.Fatal("nil recorder must observe nothing")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,9 +1,12 @@
 package fuzz
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Protocols is the default protocol sweep.
@@ -31,6 +34,29 @@ type CampaignConfig struct {
 
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
+
+	// Stream, when non-nil, receives one JSONL CaseRecord per executed
+	// case as it completes (live order, not deterministic order — the
+	// stream is telemetry, the returned CampaignResult is the record of
+	// truth). Write errors are dropped.
+	Stream io.Writer
+}
+
+// CaseRecord is one line of the campaign's JSONL progress stream.
+type CaseRecord struct {
+	Seq      int    `json:"seq"`
+	Seed     uint64 `json:"seed"`
+	Protocol string `json:"protocol"`
+	Cycles   uint64 `json:"cycles"`
+	// Failure is the failure kind, empty for a passing case.
+	Failure string `json:"failure,omitempty"`
+
+	Done      int   `json:"done"`
+	Pending   int   `json:"pending"`
+	Total     int   `json:"total"`
+	Failures  int   `json:"failures"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+	EtaMS     int64 `json:"eta_ms"`
 }
 
 // CaseResult is the outcome of one (seed, protocol) case.
@@ -82,6 +108,39 @@ func Campaign(cfg CampaignConfig) *CampaignResult {
 	}
 	results := make([]CaseResult, len(tasks))
 	var wg sync.WaitGroup
+
+	// Live telemetry: one JSONL record per completed case, emitted under a
+	// mutex in completion order. The campaign's ETA assumes the mean
+	// per-case wall time holds for the pending cases across all jobs.
+	var streamMu sync.Mutex
+	streamSeq, streamFails := 0, 0
+	streamStart := time.Now()
+	emit := func(r *CaseResult) {
+		if cfg.Stream == nil {
+			return
+		}
+		streamMu.Lock()
+		defer streamMu.Unlock()
+		streamSeq++
+		if r.Failure != nil {
+			streamFails++
+		}
+		elapsed := time.Since(streamStart)
+		rec := CaseRecord{
+			Seq: streamSeq, Seed: r.Seed, Protocol: r.Protocol, Cycles: r.Cycles,
+			Done: streamSeq, Pending: len(tasks) - streamSeq, Total: len(tasks),
+			Failures: streamFails, ElapsedMS: elapsed.Milliseconds(),
+		}
+		if r.Failure != nil {
+			rec.Failure = r.Failure.Kind
+		}
+		avg := elapsed / time.Duration(streamSeq)
+		rec.EtaMS = (avg * time.Duration(rec.Pending) / time.Duration(jobs)).Milliseconds()
+		if b, err := json.Marshal(rec); err == nil {
+			cfg.Stream.Write(append(b, '\n'))
+		}
+	}
+
 	next := make(chan int)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
@@ -95,6 +154,7 @@ func Campaign(cfg CampaignConfig) *CampaignResult {
 					Seed: t.seed, Protocol: t.proto,
 					Cycles: out.Cycles, Failure: out.Failure, Program: p,
 				}
+				emit(&results[i])
 			}
 		}()
 	}

@@ -201,6 +201,27 @@ func (h *Histogram) Max() uint64 {
 	return h.max
 }
 
+// Merge folds o's observations into h. Because bucket boundaries are fixed
+// by the value domain, merging is exact: counts add bucket-wise and the
+// summary statistics (count, sum, min, max) combine losslessly. Safe when
+// either side is nil or empty; merging an empty histogram is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.total == 0 {
+		return
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
 // Bucket is one non-empty histogram bucket covering [Lo, Hi].
 type Bucket struct {
 	Lo    uint64

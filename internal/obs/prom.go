@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the collected metrics in the Prometheus text
+// exposition format (version 0.0.4), so a long campaign can expose a
+// scrape endpoint or drop a .prom file for the node-exporter textfile
+// collector mid-flight.
+//
+// The latest counter sample becomes one `counter` family per counter name,
+// and each histogram becomes a `histogram` family with cumulative `le`
+// buckets derived from the deterministic power-of-two boundaries, plus the
+// standard _sum and _count series. Names are sanitized to the Prometheus
+// grammar ([a-zA-Z_:][a-zA-Z0-9_:]*) by mapping every other rune to '_'.
+// Output is fully deterministic: families and series sort by name.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	var b strings.Builder
+
+	if n := len(m.samples); n > 0 {
+		last := m.samples[n-1]
+		names := make([]string, 0, len(last.Counters))
+		for k := range last.Counters {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "# Snapshot at cycle %d.\n", last.Cycle)
+		for _, k := range names {
+			pn := promName(k)
+			fmt.Fprintf(&b, "# TYPE %s counter\n", pn)
+			fmt.Fprintf(&b, "%s %d\n", pn, last.Counters[k])
+		}
+	}
+
+	for _, h := range m.Histograms() {
+		pn := promName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		// Cumulative buckets: the power-of-two bucket [Lo, Hi] contributes
+		// its count to the series with le = Hi. The top bucket's upper
+		// bound is the full uint64 range, which folds into +Inf.
+		var cum uint64
+		for _, bk := range h.Buckets() {
+			cum += bk.Count
+			if bk.Hi == ^uint64(0) {
+				continue
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", pn, bk.Hi, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count())
+		fmt.Fprintf(&b, "%s_sum %d\n", pn, h.Sum())
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count())
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps an internal metric name ("l1.miss_latency") onto the
+// Prometheus metric-name grammar ("l1_miss_latency"). A leading digit gets
+// an underscore prefix.
+func promName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

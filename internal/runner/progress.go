@@ -1,0 +1,96 @@
+// JSONL progress streaming: a machine-readable counterpart of SetProgress
+// for driving dashboards and file tails while a long sweep or fuzz campaign
+// runs. One line per executed cell, flushed immediately, fields stable.
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProgressRecord is one line of the JSONL progress stream. Every executed
+// cell emits exactly one record (memo hits do not); a consumer can tail the
+// stream to render live done/pending counts, an ETA and the campaign-wide
+// aggregated counters without touching the engine.
+type ProgressRecord struct {
+	// Seq numbers records from 1 in emission order.
+	Seq int `json:"seq"`
+	// Key is the cell key's Go-syntax representation.
+	Key string `json:"key"`
+	// DurMS is this cell's execution time in milliseconds.
+	DurMS float64 `json:"dur_ms"`
+	// Err is the cell's error text, empty on success.
+	Err string `json:"err,omitempty"`
+
+	// Done counts finished cells (executed + memo hits); Pending is
+	// Total - Done, where Total counts all submissions so far. Errors
+	// counts failed cells.
+	Done    int `json:"done"`
+	Pending int `json:"pending"`
+	Total   int `json:"total"`
+	Errors  int `json:"errors"`
+
+	// ElapsedMS is wall-clock since the stream was installed. EtaMS
+	// estimates time to drain the pending cells: pending x mean task
+	// time / workers. Zero when nothing is pending.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	EtaMS     int64 `json:"eta_ms"`
+
+	// Counters is the sweep-wide aggregation of every executed cell's
+	// MetricSummary so far (omitted when no result exposes metrics).
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// SetStream installs a JSONL progress stream: one ProgressRecord per
+// executed cell, written and newline-terminated under the engine's
+// callback lock so lines never interleave. Composes with SetProgress
+// (both fire). Pass nil to detach. Write errors are silently dropped —
+// telemetry must never fail a sweep.
+func (e *Engine) SetStream(w io.Writer) {
+	e.cbMu.Lock()
+	e.stream = w
+	e.streamStart = time.Now()
+	e.streamSeq = 0
+	e.cbMu.Unlock()
+}
+
+// emitStream writes one progress record for ent. Called under cbMu; takes
+// e.mu briefly for the counter snapshot (cbMu -> mu is the engine's only
+// nested lock order, and mu is never held across a cbMu acquire).
+func (e *Engine) emitStream(ent *entry) {
+	e.streamSeq++
+	rec := ProgressRecord{
+		Seq:       e.streamSeq,
+		Key:       fmt.Sprintf("%#v", ent.key),
+		DurMS:     float64(ent.dur.Microseconds()) / 1e3,
+		ElapsedMS: time.Since(e.streamStart).Milliseconds(),
+	}
+	if ent.err != nil {
+		rec.Err = ent.err.Error()
+	}
+
+	e.mu.Lock()
+	rec.Total = e.submitted
+	rec.Done = e.executed + e.hits
+	rec.Errors = e.errors
+	var avg time.Duration
+	if e.executed > 0 {
+		avg = e.taskTime / time.Duration(e.executed)
+	}
+	if e.metrics != nil {
+		rec.Counters = e.metrics.Snapshot()
+	}
+	e.mu.Unlock()
+
+	if rec.Pending = rec.Total - rec.Done; rec.Pending < 0 {
+		rec.Pending = 0
+	}
+	rec.EtaMS = (avg * time.Duration(rec.Pending) / time.Duration(e.workers)).Milliseconds()
+
+	if b, err := json.Marshal(rec); err == nil {
+		b = append(b, '\n')
+		e.stream.Write(b)
+	}
+}

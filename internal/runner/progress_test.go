@@ -1,0 +1,72 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+type summarized uint64
+
+func (s summarized) MetricSummary() map[string]uint64 {
+	return map[string]uint64{"cycles": uint64(s)}
+}
+
+func TestStreamEmitsJSONLPerExecutedCell(t *testing.T) {
+	var buf bytes.Buffer
+	e := New(1)
+	e.SetStream(&buf)
+	e.Do("a", func(uint64) (any, error) { return summarized(10), nil })
+	e.Do("a", func(uint64) (any, error) { return summarized(99), nil }) // memo hit: no record
+	e.Do("b", func(uint64) (any, error) { return nil, errors.New("boom") })
+	e.Wait()
+
+	var recs []ProgressRecord
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r ProgressRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (memo hits must not emit)", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != i+1 {
+			t.Errorf("record %d: seq=%d, want %d", i, r.Seq, i+1)
+		}
+		if r.Pending != r.Total-r.Done {
+			t.Errorf("record %d: pending=%d, total=%d, done=%d", i, r.Pending, r.Total, r.Done)
+		}
+	}
+	if !strings.Contains(recs[0].Key, `"a"`) {
+		t.Errorf("first key %q does not render the cell key", recs[0].Key)
+	}
+	if recs[0].Counters["cycles"] != 10 {
+		t.Errorf("first record counters = %v, want cycles=10", recs[0].Counters)
+	}
+	last := recs[len(recs)-1]
+	if last.Err == "" || last.Errors != 1 {
+		t.Errorf("error cell not reflected: err=%q errors=%d", last.Err, last.Errors)
+	}
+	if last.Done != 3 || last.Pending != 0 || last.EtaMS != 0 {
+		t.Errorf("final record done=%d pending=%d eta=%d, want 3/0/0", last.Done, last.Pending, last.EtaMS)
+	}
+}
+
+func TestStreamDetach(t *testing.T) {
+	var buf bytes.Buffer
+	e := New(2)
+	e.SetStream(&buf)
+	e.SetStream(nil)
+	e.Do("a", func(uint64) (any, error) { return nil, nil })
+	e.Wait()
+	if buf.Len() != 0 {
+		t.Errorf("detached stream still wrote: %q", buf.String())
+	}
+}

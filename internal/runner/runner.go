@@ -23,6 +23,7 @@ package runner
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -85,8 +86,11 @@ type Engine struct {
 
 	wg sync.WaitGroup
 
-	cbMu   sync.Mutex
-	onCell func(Cell)
+	cbMu        sync.Mutex
+	onCell      func(Cell)
+	stream      io.Writer
+	streamStart time.Time
+	streamSeq   int
 }
 
 // entry is one unique task. val, err and dur are written by exactly one
@@ -217,6 +221,9 @@ func (e *Engine) run(ent *entry, fn Task) {
 	e.cbMu.Lock()
 	if e.onCell != nil {
 		e.onCell(Cell{Key: ent.key, Duration: ent.dur, Err: ent.err})
+	}
+	if e.stream != nil {
+		e.emitStream(ent)
 	}
 	e.cbMu.Unlock()
 }

@@ -48,7 +48,7 @@ func parallelShards(cfg Config) int {
 	if cfg.Engine != EngineParallel {
 		return 0
 	}
-	if cfg.Faults != nil || cfg.Obs != nil || cfg.CheckOracle || cfg.CheckSWMR {
+	if cfg.Faults != nil || cfg.Obs != nil || cfg.Forensics != nil || cfg.CheckOracle || cfg.CheckSWMR {
 		return 0
 	}
 	p := cfg.Params

@@ -11,6 +11,7 @@ import (
 	"fscoherence/internal/coherence"
 	"fscoherence/internal/core"
 	"fscoherence/internal/cpu"
+	"fscoherence/internal/forensics"
 	"fscoherence/internal/memsys"
 	"fscoherence/internal/network"
 	"fscoherence/internal/obs"
@@ -87,6 +88,11 @@ type Config struct {
 	// Obs attaches the unified observability layer (event tracing and
 	// interval metrics). Nil disables it entirely at zero per-event cost.
 	Obs *obs.Obs
+
+	// Forensics attaches the per-line flight recorder (access heatmaps,
+	// decision timelines, repair-efficacy attribution). Nil disables it
+	// entirely at zero per-event cost.
+	Forensics *forensics.Recorder
 }
 
 // DefaultConfig returns a Table II system in the given protocol mode with
@@ -296,12 +302,15 @@ func New(cfg Config, wl Workload) *System {
 		shardOfSlice = func(j int) int { return j * len(s.par.shards) / p.Slices }
 	}
 
+	cfg.Forensics.Begin(p.BlockSize, p.Cores)
+
 	cc := cfg.Core
 	cc.Cores = p.Cores
 	cc.BlockSize = p.BlockSize
 	cc.Mode = cfg.Mode
 	cc.Now = nowFor(0)
 	cc.Trace = s.tracer
+	cc.Forensics = cfg.Forensics
 
 	for i := 0; i < p.Cores; i++ {
 		k := shardOfCore(i)
@@ -316,6 +325,7 @@ func New(cfg Config, wl Workload) *System {
 			l1.SetMaxMSHRs(cfg.MSHRs)
 		}
 		l1.SetObs(cfg.Obs)
+		l1.SetForensics(cfg.Forensics)
 		s.l1s = append(s.l1s, l1)
 	}
 	if cfg.CheckOracle || s.tracer != nil {
@@ -336,6 +346,7 @@ func New(cfg Config, wl Workload) *System {
 		}
 		dir := coherence.NewDir(i, p, cfg.Mode, netFor(k), memFor(k), pol, statsFor(k))
 		dir.SetObs(cfg.Obs)
+		dir.SetForensics(cfg.Forensics)
 		s.dirs = append(s.dirs, dir)
 	}
 	for i := 0; i < p.Cores; i++ {

@@ -100,6 +100,8 @@ var ctrValueByIdent = map[string]string{
 	"CtrFSMetadataResets":  CtrFSMetadataResets,
 	"CtrFSHysteresisBlock": CtrFSHysteresisBlock,
 	"CtrFSContended":       CtrFSContended,
+	"CtrFSPrvMerges":       CtrFSPrvMerges,
+	"CtrFSPrvCycles":       CtrFSPrvCycles,
 	"CtrSAMReplacements":   CtrSAMReplacements,
 	"CtrSAMLookups":        CtrSAMLookups,
 	"CtrPAMUpdates":        CtrPAMUpdates,

@@ -64,6 +64,8 @@ const (
 	IDFSMetadataResets
 	IDFSHysteresisBlock
 	IDFSContended
+	IDFSPrvMerges
+	IDFSPrvCycles
 	IDSAMReplacements
 	IDSAMLookups
 	IDPAMUpdates
@@ -121,6 +123,8 @@ var idNames = [NumIDs]string{
 	IDFSMetadataResets:  CtrFSMetadataResets,
 	IDFSHysteresisBlock: CtrFSHysteresisBlock,
 	IDFSContended:       CtrFSContended,
+	IDFSPrvMerges:       CtrFSPrvMerges,
+	IDFSPrvCycles:       CtrFSPrvCycles,
 	IDSAMReplacements:   CtrSAMReplacements,
 	IDSAMLookups:        CtrSAMLookups,
 	IDPAMUpdates:        CtrPAMUpdates,
@@ -436,6 +440,8 @@ const (
 	CtrFSMetadataResets  = "fs.metadata_resets"
 	CtrFSHysteresisBlock = "fs.hysteresis_blocked"
 	CtrFSContended       = "fs.contended_lines"
+	CtrFSPrvMerges       = "fs.prv_merges"
+	CtrFSPrvCycles       = "fs.prv_cycles"
 	CtrSAMReplacements   = "sam.valid_replacements"
 	CtrSAMLookups        = "sam.lookups"
 	CtrPAMUpdates        = "pam.updates"
@@ -504,6 +510,8 @@ func Canonical() []Counter {
 		{CtrFSMetadataResets, "periodic PAM/SAM metadata resets"},
 		{CtrFSHysteresisBlock, "re-privatizations blocked by hysteresis"},
 		{CtrFSContended, "lines classified as contended truly-shared"},
+		{CtrFSPrvMerges, "privatized per-core copies byte-merged back"},
+		{CtrFSPrvCycles, "cycles lines spent privatized (summed over completed episodes)"},
 		{CtrSAMReplacements, "SAM entries evicted while valid"},
 		{CtrSAMLookups, "SAM table lookups"},
 		{CtrPAMUpdates, "PAM metadata updates"},

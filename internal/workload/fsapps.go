@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fscoherence/internal/cpu"
+	"fscoherence/internal/forensics"
 	"fscoherence/internal/memsys"
 )
 
@@ -49,8 +50,7 @@ func (p *privMix) touchRand(c *cpu.Ctx, n int) {
 // (Fig. 17: 1.34x vs FSLite 3.75x).
 // ---------------------------------------------------------------------------
 
-func buildRC(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildRC(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	var slots []memsys.Addr
 	switch v {
 	case VariantDefault:
@@ -97,8 +97,7 @@ func buildRC(v Variant, s Scale) []cpu.ThreadFunc {
 // is a clean win (manual 1.56x ~ FSLite 1.54x).
 // ---------------------------------------------------------------------------
 
-func buildLR(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildLR(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	const accSize = 40 // five 8-byte fields: n, sx, sy, sxx, sxy
 	accs := a.Array(threadsFS, accSize, strideFor(v, accSize, true))
 	iters := s.n(1200)
@@ -135,8 +134,7 @@ func buildLR(v Variant, s Scale) []cpu.ThreadFunc {
 // aggressively (2x), landing in between on Fig. 17.
 // ---------------------------------------------------------------------------
 
-func buildLT(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildLT(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	const slotSize = 16 // 8-byte lock + 8-byte counter
 	const slotsPerThread = 64
 	stride := slotSize
@@ -189,8 +187,7 @@ func buildLT(v Variant, s Scale) []cpu.ThreadFunc {
 // (manual 1.5x, FSLite 1.47x).
 // ---------------------------------------------------------------------------
 
-func buildLL(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildLL(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	const slotsPerThread = 32
 	all := a.Array(threadsFS*slotsPerThread, 8, strideFor(v, 8, true))
 	iters := s.n(1500)
@@ -219,10 +216,19 @@ func buildLL(v Variant, s Scale) []cpu.ThreadFunc {
 // manual-fix gains (1.04x).
 // ---------------------------------------------------------------------------
 
-func buildBS(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildBS(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	const poolSize = 16
-	locks := a.Array(poolSize, 8, strideFor(v, 8, true))
+	stride := strideFor(v, 8, true)
+	locks := a.Array(poolSize, 8, stride)
+	// Lock words see writes from many cores over time (threads hash to
+	// locks): truly shared. The packed pool additionally interleaves locks
+	// with different affine owners in each line — mixed true+false sharing,
+	// which accuracy scoring excludes by construction.
+	lbl := forensics.LabelShared
+	if stride < lineSize {
+		lbl |= forensics.LabelFalse
+	}
+	a.Mark(locks[0], poolSize*stride, lbl)
 	iters := s.n(350)
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
@@ -260,8 +266,7 @@ func buildBS(v Variant, s Scale) []cpu.ThreadFunc {
 // stays ~3% from capacity streaming.
 // ---------------------------------------------------------------------------
 
-func buildSC(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildSC(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	counters := a.Array(threadsFS, 8, strideFor(v, 8, true))
 	iters := s.n(600)
 	var ths []cpu.ThreadFunc
@@ -301,11 +306,12 @@ func buildSC(v Variant, s Scale) []cpu.ThreadFunc {
 // (~1.03x).
 // ---------------------------------------------------------------------------
 
-func buildSF(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildSF(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	tree := a.Alloc(256*lineSize, lineSize) // shared, read-mostly
+	a.Mark(tree, 256*lineSize, forensics.LabelShared)
 	descs := a.Array(threadsFS, 16, strideFor(v, 16, true))
 	commit := a.AllocLine() // truly shared commit counter
+	a.Mark(commit, lineSize, forensics.LabelShared)
 	iters := s.n(400)
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
@@ -344,8 +350,7 @@ func buildSF(v Variant, s Scale) []cpu.ThreadFunc {
 // and the repair (FSLite ~1.04x, the largest FSDetect overhead at 3%).
 // ---------------------------------------------------------------------------
 
-func buildSM(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildSM(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	results := a.Array(threadsFS, 8, strideFor(v, 8, true))
 	bar := a.Barrier(threadsFS)
 	phases := s.n(18)

@@ -13,12 +13,11 @@ import "fscoherence/internal/cpu"
 // spread across the sharded LLC — while the padded variant spreads slots one
 // per line and eliminates the contention, preserving the Fig. 14a
 // default-vs-padded comparison shape.
-func buildMicroGrid(v Variant, s Scale, n int) []cpu.ThreadFunc {
+func buildMicroGrid(a *Arena, v Variant, s Scale, n int) []cpu.ThreadFunc {
 	if n <= 0 {
 		n = threadsFS
 	}
 	const per = 8 // threads falsely sharing each line
-	a := NewArena()
 	groups := (n + per - 1) / per
 	iters := s.n(300)
 	var ths []cpu.ThreadFunc

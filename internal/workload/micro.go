@@ -3,6 +3,7 @@ package workload
 import (
 	"fscoherence/internal/coherence"
 	"fscoherence/internal/cpu"
+	"fscoherence/internal/forensics"
 	"fscoherence/internal/memsys"
 )
 
@@ -12,8 +13,7 @@ import (
 
 // buildMicroWW — pure write-write false sharing: each thread RMWs its own
 // 8-byte slot of one line as fast as possible.
-func buildMicroWW(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildMicroWW(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	slots := a.Array(threadsFS, 8, strideFor(v, 8, true))
 	iters := s.n(1500)
 	var ths []cpu.ThreadFunc
@@ -30,8 +30,7 @@ func buildMicroWW(v Variant, s Scale) []cpu.ThreadFunc {
 
 // buildMicroRW — read-write false sharing: one writer updates its slot while
 // the other threads spin reading their own (disjoint) slots of the line.
-func buildMicroRW(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildMicroRW(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	slots := a.Array(threadsFS, 8, strideFor(v, 8, true))
 	iters := s.n(1200)
 	var ths []cpu.ThreadFunc
@@ -54,9 +53,9 @@ func buildMicroRW(v Variant, s Scale) []cpu.ThreadFunc {
 
 // buildMicroTS — true sharing control: all threads atomically update the
 // same word. FSDetect must not flag it and FSLite must not privatize it.
-func buildMicroTS(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildMicroTS(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	word := a.AllocLine()
+	a.Mark(word, lineSize, forensics.LabelShared) // same word, all threads
 	iters := s.n(600)
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
@@ -75,8 +74,7 @@ func buildMicroTS(v Variant, s Scale) []cpu.ThreadFunc {
 // workers), then workers enter a long falsely shared phase. Without the
 // periodic metadata reset, the stale TS bit would block privatization
 // forever.
-func buildMicroPhased(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildMicroPhased(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	slots := a.Array(threadsFS, 8, strideFor(v, 8, true))
 	bar := a.Barrier(threadsFS)
 	iters := s.n(2000)
@@ -104,8 +102,7 @@ func buildMicroPhased(v Variant, s Scale) []cpu.ThreadFunc {
 // buildMicroDoS — the interconnect denial-of-service pattern sketched in the
 // paper's introduction: a very high volume of falsely shared lines hammered
 // concurrently, flooding the network with invalidations and interventions.
-func buildMicroDoS(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildMicroDoS(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	const lines = 16
 	slotsByLine := make([][]memsys.Addr, lines)
 	for l := range slotsByLine {
@@ -129,10 +126,10 @@ func buildMicroDoS(v Variant, s Scale) []cpu.ThreadFunc {
 // this is heavy true sharing; with the region declared, FSLite privatizes
 // the line and each core accumulates locally, with the directory summing the
 // per-core deltas at merge time.
-func buildMicroRED(v Variant, s Scale) ([]cpu.ThreadFunc, []coherence.AddrRange) {
-	a := NewArena()
+func buildMicroRED(a *Arena, v Variant, s Scale) ([]cpu.ThreadFunc, []coherence.AddrRange) {
 	const words = 4
 	base := a.Alloc(words*8, lineSize)
+	a.Mark(base, words*8, forensics.LabelShared) // same words, all threads
 	region := coherence.AddrRange{Start: base, Size: words * 8}
 	bar := a.Barrier(threadsFS + 1)
 	iters := s.n(600)

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fscoherence/internal/cpu"
+	"fscoherence/internal/forensics"
 	"fscoherence/internal/memsys"
 )
 
@@ -11,8 +12,7 @@ import (
 
 // buildBL — Blackscholes: embarrassingly parallel option pricing; private
 // streaming over option data with barrier-separated rounds.
-func buildBL(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildBL(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	bar := a.Barrier(threadsFS)
 	rounds := s.n(6)
 	var ths []cpu.ThreadFunc
@@ -36,11 +36,13 @@ func buildBL(v Variant, s Scale) []cpu.ThreadFunc {
 
 // buildBO — Bodytrack: private compute over particles plus a read-shared
 // model and an occasional work-queue lock (true sharing).
-func buildBO(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildBO(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	model := a.Alloc(128*lineSize, lineSize) // shared read-only body model
+	a.Mark(model, 128*lineSize, forensics.LabelShared)
 	lock := a.AllocLine()
+	a.Mark(lock, lineSize, forensics.LabelShared)
 	queue := a.AllocLine() // truly shared work counter
+	a.Mark(queue, lineSize, forensics.LabelShared)
 	iters := s.n(350)
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
@@ -66,9 +68,9 @@ func buildBO(v Variant, s Scale) []cpu.ThreadFunc {
 
 // buildCA — Canneal: cache-unfriendly random walks over a large element
 // array with occasional truly shared atomic swaps.
-func buildCA(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildCA(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	elements := a.Alloc(2048*lineSize, lineSize) // shared netlist elements
+	a.Mark(elements, 2048*lineSize, forensics.LabelShared)
 	iters := s.n(500)
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
@@ -92,8 +94,7 @@ func buildCA(v Variant, s Scale) []cpu.ThreadFunc {
 }
 
 // buildFA — Facesim: heavy private streaming (large frames) with barriers.
-func buildFA(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildFA(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	bar := a.Barrier(threadsFS)
 	rounds := s.n(4)
 	var ths []cpu.ThreadFunc
@@ -117,10 +118,12 @@ func buildFA(v Variant, s Scale) []cpu.ThreadFunc {
 
 // buildFL — Fluidanimate: grid partitions with boundary locks shared by
 // neighbouring threads (true sharing) plus private cell updates.
-func buildFL(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
-	// One boundary lock between each pair of adjacent threads.
+func buildFL(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
+	// One boundary lock between each pair of adjacent threads: padded one
+	// per line, but each lock (and its guarded cell) is shared by the two
+	// neighbouring threads — truly shared by construction.
 	borders := a.Array(threadsFS, 8, lineSize)
+	a.Mark(borders[0], threadsFS*lineSize, forensics.LabelShared)
 	iters := s.n(300)
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {
@@ -145,8 +148,7 @@ func buildFL(v Variant, s Scale) []cpu.ThreadFunc {
 
 // buildSW — Swaptions: compute-dominated Monte Carlo simulation over a tiny
 // private working set; essentially no misses after warmup.
-func buildSW(v Variant, s Scale) []cpu.ThreadFunc {
-	a := NewArena()
+func buildSW(a *Arena, v Variant, s Scale) []cpu.ThreadFunc {
 	iters := s.n(500)
 	var ths []cpu.ThreadFunc
 	for t := 0; t < threadsFS; t++ {

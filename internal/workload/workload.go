@@ -30,6 +30,7 @@ import (
 
 	"fscoherence/internal/coherence"
 	"fscoherence/internal/cpu"
+	"fscoherence/internal/forensics"
 	"fscoherence/internal/memsys"
 )
 
@@ -85,16 +86,20 @@ type Spec struct {
 	// comparison (Fig. 17).
 	HuronSupported bool
 	// Build constructs the per-thread functions for a layout variant.
-	Build func(v Variant, s Scale) []cpu.ThreadFunc
+	// Builders allocate from the caller's Arena so the allocation-time
+	// ground-truth labels (falsely shared / truly shared / private by
+	// construction) survive the build and can be scored against the
+	// detector (see internal/forensics).
+	Build func(a *Arena, v Variant, s Scale) []cpu.ThreadFunc
 
 	// BuildR, when set, replaces Build for workloads that declare §VII
 	// reduction regions alongside their threads.
-	BuildR func(v Variant, s Scale) ([]cpu.ThreadFunc, []coherence.AddrRange)
+	BuildR func(a *Arena, v Variant, s Scale) ([]cpu.ThreadFunc, []coherence.AddrRange)
 
 	// BuildN, when set, marks a machine-scalable workload: it builds one
 	// thread per core for any requested core count (big-machine configs;
 	// see BuildFullN). Build remains the fixed default-machine shape.
-	BuildN func(v Variant, s Scale, threads int) []cpu.ThreadFunc
+	BuildN func(a *Arena, v Variant, s Scale, threads int) []cpu.ThreadFunc
 }
 
 // registry holds all benchmark models keyed by code.
@@ -105,35 +110,46 @@ func register(s *Spec) {
 		panic("workload: duplicate benchmark " + s.Name)
 	}
 	if s.Build == nil && s.BuildN != nil {
-		s.Build = func(v Variant, sc Scale) []cpu.ThreadFunc {
-			return s.BuildN(v, sc, s.Threads)
+		s.Build = func(a *Arena, v Variant, sc Scale) []cpu.ThreadFunc {
+			return s.BuildN(a, v, sc, s.Threads)
 		}
 	}
 	if s.Build == nil && s.BuildR != nil {
-		s.Build = func(v Variant, sc Scale) []cpu.ThreadFunc {
-			ths, _ := s.BuildR(v, sc)
+		s.Build = func(a *Arena, v Variant, sc Scale) []cpu.ThreadFunc {
+			ths, _ := s.BuildR(a, v, sc)
 			return ths
 		}
 	}
 	registry[s.Name] = s
 }
 
-// BuildFull constructs threads and reduction regions for a spec.
-func (s *Spec) BuildFull(v Variant, sc Scale) ([]cpu.ThreadFunc, []coherence.AddrRange) {
-	if s.BuildR != nil {
-		return s.BuildR(v, sc)
+// BuildLabeled builds threads, reduction regions and the construction-time
+// ground-truth labels for an n-core machine (n == 0 keeps the calibrated
+// default shape). Scalable workloads (BuildN) populate every core;
+// fixed-shape workloads keep their calibrated thread count and leave the
+// remaining cores idle.
+func (s *Spec) BuildLabeled(v Variant, sc Scale, n int) ([]cpu.ThreadFunc, []coherence.AddrRange, *forensics.GroundTruth) {
+	a := NewArena()
+	if s.BuildN != nil && n > 0 {
+		return s.BuildN(a, v, sc, n), nil, a.GroundTruth()
 	}
-	return s.Build(v, sc), nil
+	if s.BuildR != nil {
+		ths, regions := s.BuildR(a, v, sc)
+		return ths, regions, a.GroundTruth()
+	}
+	return s.Build(a, v, sc), nil, a.GroundTruth()
 }
 
-// BuildFullN builds threads for an n-core machine. Scalable workloads
-// (BuildN) populate every core; fixed-shape workloads keep their calibrated
-// thread count and leave the remaining cores idle.
+// BuildFull constructs threads and reduction regions for a spec.
+func (s *Spec) BuildFull(v Variant, sc Scale) ([]cpu.ThreadFunc, []coherence.AddrRange) {
+	ths, regions, _ := s.BuildLabeled(v, sc, 0)
+	return ths, regions
+}
+
+// BuildFullN builds threads for an n-core machine (see BuildLabeled).
 func (s *Spec) BuildFullN(v Variant, sc Scale, n int) ([]cpu.ThreadFunc, []coherence.AddrRange) {
-	if s.BuildN != nil && n > 0 {
-		return s.BuildN(v, sc, n), nil
-	}
-	return s.BuildFull(v, sc)
+	ths, regions, _ := s.BuildLabeled(v, sc, n)
+	return ths, regions
 }
 
 // ByName returns the benchmark model with the given code.
@@ -178,24 +194,45 @@ func HuronSet() []string {
 
 const lineSize = 64
 
-// Arena hands out non-overlapping simulated addresses. Each workload run uses
-// a fresh simulation, so all workloads share the same base address.
+// Arena hands out non-overlapping simulated addresses and records the
+// construction-time sharing label of every line it allocates (the ground
+// truth the forensics layer scores the detector against). Each workload run
+// uses a fresh simulation, so all workloads share the same base address.
+//
+// Labels are implicit by allocator shape — Alloc/AllocLine/privateRegion
+// lines are private, packed Array lines whose bytes belong to two or more
+// elements are falsely shared, Barrier lines are truly shared — and builders
+// override with Mark where they know better (lock pools, read-shared
+// tables, reduction words).
 type Arena struct {
 	next memsys.Addr
+	gt   *forensics.GroundTruth
 }
 
 // NewArena starts allocating at a fixed base (distinct from zero so address
 // arithmetic bugs are visible).
 func NewArena() *Arena {
-	return &Arena{next: 0x100000}
+	return &Arena{next: 0x100000, gt: forensics.NewGroundTruth(lineSize)}
 }
 
-// Alloc returns size bytes aligned to align (a power of two).
+// GroundTruth returns the labels accumulated by this arena's allocations.
+func (a *Arena) GroundTruth() *forensics.GroundTruth { return a.gt }
+
+// Mark relabels every line overlapping [addr, addr+size), replacing the
+// allocation-time label (builders call it for structures whose sharing the
+// allocator shape cannot see: lock pools, read-shared tables, ...).
+func (a *Arena) Mark(addr memsys.Addr, size int, l forensics.Label) {
+	a.gt.Mark(addr, size, l)
+}
+
+// Alloc returns size bytes aligned to align (a power of two). The lines are
+// labeled private until Marked otherwise.
 func (a *Arena) Alloc(size, align int) memsys.Addr {
 	mask := memsys.Addr(align - 1)
 	a.next = (a.next + mask) &^ mask
 	p := a.next
 	a.next += memsys.Addr(size)
+	a.gt.Mark(p, size, forensics.LabelPrivate)
 	return p
 }
 
@@ -208,6 +245,12 @@ func (a *Arena) AllocLine() memsys.Addr {
 // (stride >= elemSize). stride == elemSize packs elements contiguously (the
 // falsely-shared layout); stride == lineSize pads one element per line (the
 // manually fixed layout).
+//
+// Ground truth: a line holding bytes of two or more elements is falsely
+// shared by construction (workload elements belong to different threads); a
+// line covered by at most one element stays private. The per-line rule
+// matters — a packed array can end on a line owned by a single element (LR's
+// third accumulator line), which padding would not change.
 func (a *Arena) Array(count, elemSize, stride int) []memsys.Addr {
 	if stride < elemSize {
 		panic("workload: stride smaller than element")
@@ -217,12 +260,27 @@ func (a *Arena) Array(count, elemSize, stride int) []memsys.Addr {
 	for i := range out {
 		out[i] = base + memsys.Addr(i*stride)
 	}
+	elems := make(map[memsys.Addr]int) // line -> #elements overlapping it
+	for i := 0; i < count; i++ {
+		first := out[i].BlockAlign(lineSize)
+		last := (out[i] + memsys.Addr(elemSize) - 1).BlockAlign(lineSize)
+		for ln := first; ln <= last; ln += lineSize {
+			elems[ln]++
+		}
+	}
+	for ln, n := range elems {
+		if n >= 2 {
+			a.gt.Mark(ln, lineSize, forensics.LabelFalse)
+		}
+	}
 	return out
 }
 
-// Barrier allocates a sense-reversing barrier for n threads.
+// Barrier allocates a sense-reversing barrier for n threads. Barrier lines
+// are truly shared by construction.
 func (a *Arena) Barrier(n int) *cpu.Barrier {
 	line := a.AllocLine()
+	a.gt.Mark(line, lineSize, forensics.LabelShared)
 	return &cpu.Barrier{CountAddr: line, SenseAddr: line + 8, Threads: n}
 }
 

@@ -46,7 +46,7 @@ func TestBuildProducesThreadFuncs(t *testing.T) {
 	for _, n := range Names() {
 		s, _ := ByName(n)
 		for _, v := range []Variant{VariantDefault, VariantPadded, VariantHuron} {
-			ths := s.Build(v, 0.01)
+			ths := s.Build(NewArena(), v, 0.01)
 			if len(ths) != s.Threads {
 				t.Fatalf("%s/%v: %d threads, want %d", n, v, len(ths), s.Threads)
 			}

@@ -6,6 +6,7 @@ import (
 	"fscoherence/internal/coherence"
 	"fscoherence/internal/core"
 	"fscoherence/internal/energy"
+	"fscoherence/internal/forensics"
 	"fscoherence/internal/memsys"
 	"fscoherence/internal/network"
 	"fscoherence/internal/obs"
@@ -116,6 +117,12 @@ type Options struct {
 	// participates in Runner memo keys, so two cells tracing into distinct
 	// attachments are distinct cells.
 	Obs *obs.Obs
+
+	// Forensics attaches the per-line flight recorder (byte×core heatmaps,
+	// decision timelines, repair-efficacy attribution; see
+	// internal/forensics). Nil — the default — disables it at zero cost.
+	// Like Obs, the pointer keeps Options comparable.
+	Forensics *forensics.Recorder
 }
 
 // Result summarizes one run.
@@ -147,6 +154,16 @@ type Result struct {
 	// Obs is the observability attachment the run wrote into (copied from
 	// Options.Obs; nil when observability was off).
 	Obs *obs.Obs
+
+	// Forensics is the flight recorder the run wrote into (copied from
+	// Options.Forensics; nil when forensics was off).
+	Forensics *forensics.Recorder
+
+	// GroundTruth labels every line the workload allocated as falsely
+	// shared, truly shared or private by construction. Always populated;
+	// with Forensics attached, forensics.Score(Forensics, GroundTruth)
+	// yields the run's detection precision/recall.
+	GroundTruth *forensics.GroundTruth
 }
 
 // MetricSummary implements runner.MetricSummarizer: headline per-run metrics
@@ -255,6 +272,7 @@ func buildConfig(opt Options) sim.Config {
 	cfg.Params.Topology = kind
 	cfg.Shards = opt.Shards
 	cfg.Obs = opt.Obs
+	cfg.Forensics = opt.Forensics
 	return cfg
 }
 
@@ -279,7 +297,7 @@ func Run(bench string, opt Options) (*Result, error) {
 	if opt.Scale == 0 {
 		opt.Scale = 1
 	}
-	threads, regions := spec.BuildFullN(opt.Variant, workload.Scale(opt.Scale), opt.Cores)
+	threads, regions, gt := spec.BuildLabeled(opt.Variant, workload.Scale(opt.Scale), opt.Cores)
 	cfg := buildConfig(opt)
 	system := sim.New(cfg, sim.Workload{Name: bench, Threads: threads, ReductionRegions: regions})
 	res, err := system.Run(bench)
@@ -297,6 +315,8 @@ func Run(bench string, opt Options) (*Result, error) {
 		Detections:   res.Detections,
 		Contended:    res.Contended,
 		Obs:          opt.Obs,
+		Forensics:    opt.Forensics,
+		GroundTruth:  gt,
 	}
 	out.Energy = energy.Default().Compute(res.Stats, opt.Protocol != Baseline).Total()
 	out.Violations = append(out.Violations, res.OracleViolations...)

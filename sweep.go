@@ -2,6 +2,7 @@ package fscoherence
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
@@ -72,6 +73,11 @@ func (r *Runner) SetProgress(fn func(bench string, opt Options, d time.Duration,
 		fn(k.Bench, k.Opt, c.Duration, c.Err)
 	})
 }
+
+// SetStream installs a JSONL progress stream on the underlying engine: one
+// runner.ProgressRecord per executed cell (fsexp -progress). Pass nil to
+// detach.
+func (r *Runner) SetStream(w io.Writer) { r.eng.SetStream(w) }
 
 // Future is a pending simulation cell.
 type Future struct {

@@ -118,3 +118,76 @@ func TestChromeTraceAcceptance(t *testing.T) {
 		t.Error("trace bytes differ between -j 1 and -j 8 sweeps")
 	}
 }
+
+// traceMesh runs RC under FSLite on a 16-core mesh machine with the given
+// engine and renders the tracer's event stream in the golden single-line
+// format.
+func traceMesh(t *testing.T, engine string) ([]obs.Event, string) {
+	t.Helper()
+	o := obs.New(obs.Config{})
+	_, err := Run("RC", Options{
+		Protocol: FSLite, Scale: 0.2, Engine: engine,
+		Cores: 16, Topology: "mesh", Obs: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := o.Tracer.Events()
+	var b bytes.Buffer
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return events, b.String()
+}
+
+// TestMeshTraceEngineAttribution is the golden-trace attribution check on a
+// big-machine configuration: on a 16-core mesh the tracer must produce a
+// byte-identical event stream under every engine (skip, the cycle-stepped
+// naive reference, and parallel — which conservatively falls back to skip
+// when observability is attached), and every net event's (core, slice)
+// track assignment must agree with the src/dst node pair it carries.
+func TestMeshTraceEngineAttribution(t *testing.T) {
+	events, golden := traceMesh(t, "skip")
+	if len(events) == 0 {
+		t.Fatal("mesh trace contains no events")
+	}
+	for _, engine := range []string{"naive", "parallel"} {
+		if _, g := traceMesh(t, engine); g != golden {
+			t.Errorf("%s engine trace differs from the skip golden trace", engine)
+		}
+	}
+
+	// Attribution: a net.send is tracked at its source node, a net.recv at
+	// its destination; L1 nodes 0..cores-1 map to core tracks, LLC nodes
+	// cores..cores+slices-1 to slice tracks.
+	const cores = 16
+	coreTracked, sliceTracked := 0, 0
+	for i, e := range events {
+		if e.Kind != obs.KindNetSend && e.Kind != obs.KindNetRecv {
+			continue
+		}
+		src, dst := e.SrcDst()
+		node := src
+		if e.Kind == obs.KindNetRecv {
+			node = dst
+		}
+		if node < cores {
+			coreTracked++
+			if int(e.Core) != node || e.Slice != -1 {
+				t.Fatalf("event %d (%s): node %d attributed to core=%d slice=%d, want core=%d slice=-1",
+					i, e.Kind, node, e.Core, e.Slice, node)
+			}
+		} else {
+			sliceTracked++
+			if int(e.Slice) != node-cores || e.Core != -1 {
+				t.Fatalf("event %d (%s): node %d attributed to core=%d slice=%d, want core=-1 slice=%d",
+					i, e.Kind, node, e.Core, e.Slice, node-cores)
+			}
+		}
+	}
+	if coreTracked == 0 || sliceTracked == 0 {
+		t.Errorf("attribution check exercised %d core-tracked and %d slice-tracked net events, want both > 0",
+			coreTracked, sliceTracked)
+	}
+}
