@@ -10,13 +10,17 @@
 #   make race    — race-detector pass only.
 #   make equiv   — cross-engine equivalence tests only.
 #   make bench   — run the Benchmark* suite (-benchmem, one iteration each)
-#                  and capture the parsed results into BENCH_5.json.
-#   make benchdiff — compare BENCH_5.json against the previous snapshot
-#                  (BENCH_4.json); fails on a >15% regression in any tracked
+#                  and capture the parsed results into BENCH_6.json. Includes
+#                  the sampled 10^9-access mesh-64 cell (~1 min).
+#   make benchdiff — compare BENCH_6.json against the previous snapshot
+#                  (BENCH_5.json); fails on a >15% regression in any tracked
 #                  deterministic metric (allocs/op, B/op, modelled results —
 #                  wall-clock ns/op is excluded as CI noise). Part of make ci;
-#                  skipped with a notice if BENCH_5.json has not been
+#                  skipped with a notice if BENCH_6.json has not been
 #                  captured on this machine.
+#   make samplecheck — the interval-sampling validation gate: sampled
+#                  estimates must land within tolerance of full reference
+#                  runs, and must be byte-identical across -j worker counts.
 #   make sweep   — regenerate the paper's tables with the parallel engine.
 #   make fuzzsmoke — CI-sized protocol fuzzing: a fixed 60-seed corpus across
 #                  all three protocols under fault injection, plus the oracle
@@ -27,9 +31,9 @@ GO ?= go
 GOFMT ?= gofmt
 SEEDS ?= 200
 
-.PHONY: ci check fmt test race equiv allocsmoke bench benchdiff sweep fuzz fuzzsmoke
+.PHONY: ci check fmt test race equiv allocsmoke samplecheck bench benchdiff sweep fuzz fuzzsmoke
 
-ci: check race equiv allocsmoke fuzzsmoke benchdiff
+ci: check race equiv allocsmoke samplecheck fuzzsmoke benchdiff
 
 check: fmt test
 
@@ -60,19 +64,24 @@ equiv:
 # allocs/op plus the four tests gate it.
 allocsmoke:
 	$(GO) test -run 'TestSendRecvDoesNotAllocate|TestReplayDoesNotAllocate' -bench 'BenchmarkNetSendRecv' -benchmem -benchtime=1x -count=1 ./internal/network/
-	$(GO) test -run 'TestParallelEpochDoesNotAllocate' -count=1 ./internal/sim/
+	$(GO) test -run 'TestParallelEpochDoesNotAllocate|TestWarmingAccessDoesNotAllocate' -count=1 ./internal/sim/
 	$(GO) test -run 'TestForensicsDisabledDoesNotAllocate' -count=1 ./internal/forensics/
 
-bench:
-	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' ./... | $(GO) run ./cmd/benchjson -out BENCH_5.json
+# Sampled-vs-full tolerance gate plus cross-worker determinism of the sampled
+# estimates. EXPERIMENTS.md §"Sampled simulation".
+samplecheck:
+	$(GO) test -run 'TestSampledVsFull|TestSampledDeterministicAcrossWorkers' -count=1 .
 
-# Regression gate over the checked-in snapshots. BENCH_5.json is machine-
+bench:
+	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' ./... | $(GO) run ./cmd/benchjson -out BENCH_6.json
+
+# Regression gate over the checked-in snapshots. BENCH_6.json is machine-
 # dependent, so the diff only runs when a local capture exists.
 benchdiff:
-	@if [ -f BENCH_5.json ]; then \
-		$(GO) run ./cmd/benchjson -diff BENCH_5.json -prev BENCH_4.json; \
+	@if [ -f BENCH_6.json ]; then \
+		$(GO) run ./cmd/benchjson -diff BENCH_6.json -prev BENCH_5.json; \
 	else \
-		echo "benchdiff: BENCH_5.json not captured (run 'make bench' first); skipping"; \
+		echo "benchdiff: BENCH_6.json not captured (run 'make bench' first); skipping"; \
 	fi
 
 sweep:

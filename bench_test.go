@@ -3,8 +3,11 @@ package fscoherence
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"fscoherence/internal/obs"
+	"fscoherence/internal/stats"
+	"fscoherence/internal/workload"
 )
 
 // One benchmark per table/figure of the paper's evaluation (see DESIGN.md's
@@ -214,6 +217,47 @@ func BenchmarkBigMachineMesh8SkipEngine(b *testing.B)      { benchBigMachine(b, 
 func BenchmarkBigMachineMesh8ParallelEngine(b *testing.B)  { benchBigMachine(b, 8, "parallel") }
 func BenchmarkBigMachineMesh64SkipEngine(b *testing.B)     { benchBigMachine(b, 64, "skip") }
 func BenchmarkBigMachineMesh64ParallelEngine(b *testing.B) { benchBigMachine(b, 64, "parallel") }
+
+// BenchmarkSampledBillionAccessMesh64 is the interval-sampling headline cell:
+// one billion committed accesses of the falsely-sharing uGRID microbenchmark
+// on a 64-core mesh under FSLite, sampled at 50k-access detailed windows every
+// 10M accesses (0.5% detailed coverage, 100 windows). A fully-timed reference
+// at 1% of the size runs alongside to measure the detailed engine's
+// throughput on the identical machine; the reported effective-speedup metric
+// is the ratio of committed accesses per wall-second, sampled vs full — the
+// ISSUE 8 acceptance gate asks for >= 20x. CI quality for the estimates is
+// pinned separately by TestSampledVsFull (`make samplecheck`).
+func BenchmarkSampledBillionAccessMesh64(b *testing.B) {
+	const accesses = 1_000_000_000
+	// Pad the budget slightly: per-thread iteration counts round down, and
+	// the cell must not land just under the billion-access floor.
+	scale := float64(workload.GridScaleForAccesses(64, accesses+2_000_000))
+	for i := 0; i < b.N; i++ {
+		refStart := time.Now()
+		ref, err := Run("uGRID", Options{Protocol: FSLite, Scale: scale / 100, Cores: 64, Topology: "mesh"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		refSecs := time.Since(refStart).Seconds()
+		refAcc := float64(ref.Stats.Get(stats.CtrL1DAccesses))
+
+		sampStart := time.Now()
+		res, err := Run("uGRID", Options{Protocol: FSLite, Scale: scale, Cores: 64, Topology: "mesh", Sample: "50k:9950k"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampSecs := time.Since(sampStart).Seconds()
+		if res.Sampled == nil || res.Sampled.Accesses < accesses {
+			b.Fatalf("sampled run committed %d accesses, want >= %d", res.Sampled.Accesses, uint64(accesses))
+		}
+		sampRate := float64(res.Sampled.Accesses) / sampSecs
+		refRate := refAcc / refSecs
+		b.ReportMetric(float64(res.Sampled.Accesses), "accesses")
+		b.ReportMetric(sampRate, "accesses/s")
+		b.ReportMetric(sampRate/refRate, "effective-speedup")
+		b.ReportMetric(float64(res.Sampled.Windows), "windows")
+	}
+}
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (cycles/sec) on
 // the heaviest workload — a harness-health metric, not a paper figure.

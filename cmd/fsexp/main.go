@@ -33,6 +33,8 @@ import (
 	"fscoherence"
 	"fscoherence/internal/obs"
 	"fscoherence/internal/profiling"
+	"fscoherence/internal/sample"
+	"fscoherence/internal/stats"
 )
 
 func main() {
@@ -58,12 +60,23 @@ func main() {
 		filter   = flag.String("trace-filter", "", "restrict traced events: addr=0x...,core=N,class=net|prv|...")
 		trBench  = flag.String("trace-bench", "LR", "benchmark for the instrumented cell")
 		trProto  = flag.String("trace-protocol", "fslite", "protocol for the instrumented cell")
+		sampled  = flag.String("sample", "", "interval sampling spec detailed:warming in committed accesses (e.g. 50k:950k); timing metrics become estimates with 95% CIs")
 	)
 	prof := profiling.AddFlags()
 	flag.Parse()
 	if *engine != "skip" && *engine != "naive" && *engine != "parallel" {
 		fmt.Fprintf(os.Stderr, "fsexp: unknown -engine %q (want skip, naive or parallel)\n", *engine)
 		os.Exit(1)
+	}
+	if *sampled != "" {
+		if _, err := sample.ParseSpec(*sampled); err != nil {
+			fmt.Fprintln(os.Stderr, "fsexp:", err)
+			os.Exit(1)
+		}
+		if *engine != "skip" {
+			fmt.Fprintf(os.Stderr, "fsexp: -sample requires the skip engine, not -engine=%s\n", *engine)
+			os.Exit(1)
+		}
 	}
 	if err := prof.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "fsexp:", err)
@@ -103,6 +116,7 @@ func main() {
 	eng := fscoherence.NewRunner(*jobs)
 	eng.SetEngine(*engine)
 	eng.SetMachine(*cores, *topology, *shards)
+	eng.SetSample(*sampled)
 	if *progress != "" {
 		w := os.Stderr
 		if *progress != "-" {
@@ -172,6 +186,7 @@ func main() {
 	}
 
 	eng.Wait()
+	printSampledCells(eng)
 	rep := eng.Report()
 	fmt.Fprintf(os.Stderr, "[sweep: %d cells simulated, %d served from cache, sim time %v, wall %v, -j %d]\n",
 		rep.Executed, rep.MemoHits, rep.TaskTime.Round(time.Millisecond),
@@ -188,6 +203,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsexp: %d experiment(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// printSampledCells emits the estimate table for every cell that ran under
+// interval sampling: the tables above show the rounded point estimates, this
+// section carries the confidence intervals and detail coverage.
+func printSampledCells(eng *fscoherence.Runner) {
+	cells := eng.SampledCells()
+	if len(cells) == 0 {
+		return
+	}
+	fmt.Println("Sampled estimates (95% CI)")
+	fmt.Printf("%-6s %-9s %-8s %8s %8s %22s %22s %16s %20s\n",
+		"BENCH", "PROTOCOL", "VARIANT", "WINDOWS", "DETAIL%", "CYCLES", "STALL CYCLES", "NET MSGS", "NET BYTES")
+	col := func(s *fscoherence.SampledRun, name string) string {
+		return s.Estimates[name].String()
+	}
+	for _, r := range cells {
+		s := r.Sampled
+		fmt.Printf("%-6s %-9v %-8v %8d %7.2f%% %22s %22s %16s %20s\n",
+			r.Benchmark, r.Protocol, r.Variant, s.Windows,
+			100*float64(s.Detailed)/float64(s.Accesses),
+			col(s, stats.CtrCycles), col(s, stats.CtrStallCycles),
+			col(s, stats.CtrNetMessages), col(s, stats.CtrNetBytes))
+	}
+	fmt.Println()
 }
 
 // traceCell runs one extra instrumented cell on the engine and exports its

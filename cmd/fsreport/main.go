@@ -33,8 +33,22 @@ func main() {
 		metrics  = flag.String("metrics", "", "also write the FSDetect run's interval metrics CSV to this file")
 		filter   = flag.String("trace-filter", "", "override the trace filter (default: detector events only)")
 		htmlOut  = flag.String("html", "", "write a self-contained HTML forensics report (heatmaps, timelines, accuracy) to this file")
+		sampled  = flag.String("sample", "", "interval sampling spec detailed:warming in committed accesses (e.g. 50k:950k); incompatible with -trace/-metrics/-html")
 	)
 	flag.Parse()
+	if *sampled != "" {
+		// Sampled runs carry no observability: warming commits emit no events.
+		switch {
+		case *traceOut != "":
+			fatal(fmt.Errorf("-sample is incompatible with -trace (warming emits no events)"))
+		case *metrics != "":
+			fatal(fmt.Errorf("-sample is incompatible with -metrics (warming emits no events)"))
+		case *filter != "":
+			fatal(fmt.Errorf("-sample is incompatible with -trace-filter (warming emits no events)"))
+		case *htmlOut != "":
+			fatal(fmt.Errorf("-sample is incompatible with -html (forensics needs the fully-timed run)"))
+		}
+	}
 
 	v := fscoherence.LayoutDefault
 	switch *variant {
@@ -52,12 +66,15 @@ func main() {
 		}
 		o = obs.New(obs.Config{Filter: f})
 	}
+	if *sampled != "" {
+		o = nil // warming commits emit no events; timelines are omitted
+	}
 
-	base, err := fscoherence.Run(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale})
+	base, err := fscoherence.Run(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale, Sample: *sampled})
 	if err != nil {
 		fatal(err)
 	}
-	det, err := fscoherence.Run(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale, Obs: o})
+	det, err := fscoherence.Run(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale, Obs: o, Sample: *sampled})
 	if err != nil {
 		fatal(err)
 	}
@@ -118,7 +135,13 @@ func main() {
 	}
 
 	fmt.Printf("FSDetect report for %s (%s layout)\n", rep.Benchmark, *variant)
-	fmt.Printf("  run length          %d cycles (detection overhead %.2f%%)\n", rep.Cycles, rep.OverheadPct)
+	if s := rep.Sampled; s != nil {
+		cyc := s.Estimates["sim.cycles"]
+		fmt.Printf("  run length          %.0f ± %.0f cycles (95%% CI; sampled %s, %d windows, %.2f%% detail; detection overhead %.2f%%)\n",
+			cyc.Mean, cyc.CI95, s.Spec, s.Windows, 100*float64(s.Detailed)/float64(s.Accesses), rep.OverheadPct)
+	} else {
+		fmt.Printf("  run length          %d cycles (detection overhead %.2f%%)\n", rep.Cycles, rep.OverheadPct)
+	}
 	fmt.Printf("  L1D miss fraction   %.2f%%\n", 100*rep.L1MissFraction)
 	fmt.Printf("  invalidations       %d, interventions %d\n", rep.Invalidations, rep.Interventions)
 	fmt.Printf("  metadata messages   %d (%d phantom)\n", rep.MetadataMsgs, rep.PhantomMsgs)

@@ -23,6 +23,25 @@ type report struct {
 	// MissLatency is the L1D demand-miss latency distribution recorded by
 	// the observability layer (absent when observability was off).
 	MissLatency *histogramEntry `json:"miss_latency_histogram,omitempty"`
+
+	// Sampled reports interval-sampling estimation when the run used -sample
+	// (timing metrics are then estimates; Cycles holds the rounded mean).
+	Sampled *sampledEntry `json:"sampled,omitempty"`
+}
+
+// sampledEntry serializes the estimation side of an interval-sampled run.
+type sampledEntry struct {
+	Spec      string                   `json:"spec"`
+	Windows   int                      `json:"windows"`
+	Accesses  uint64                   `json:"accesses"`
+	Detailed  uint64                   `json:"detailed_accesses"`
+	Estimates map[string]estimateEntry `json:"estimates"`
+}
+
+type estimateEntry struct {
+	Mean     float64 `json:"mean"`
+	CI95     float64 `json:"ci95"`
+	Coverage float64 `json:"coverage"`
 }
 
 type lineEntry struct {
@@ -115,6 +134,18 @@ func buildReport(bench string, base, det *fscoherence.Result) report {
 			he.Buckets = append(he.Buckets, bucketEntry{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
 		}
 		rep.MissLatency = he
+	}
+
+	if s := det.Sampled; s != nil {
+		se := &sampledEntry{
+			Spec: s.Spec.String(), Windows: s.Windows,
+			Accesses: s.Accesses, Detailed: s.Detailed,
+			Estimates: make(map[string]estimateEntry, len(s.Estimates)),
+		}
+		for name, est := range s.Estimates {
+			se.Estimates[name] = estimateEntry{Mean: est.Mean, CI95: est.CI95, Coverage: est.Coverage}
+		}
+		rep.Sampled = se
 	}
 	return rep
 }

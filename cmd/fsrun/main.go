@@ -59,6 +59,7 @@ func main() {
 		cores    = flag.Int("cores", 0, "scale the machine to this many cores (0 = Table II 8-core default; up to 256)")
 		topology = flag.String("topology", "", "interconnect: flat (default) | ring | mesh")
 		shards   = flag.Int("shards", 0, "parallel engine worker count (0 = one per 8 cores)")
+		sampled  = flag.String("sample", "", "interval sampling spec detailed:warming in committed accesses (e.g. 50k:950k); timing metrics become estimates with 95% CIs")
 	)
 	prof := profiling.AddFlags()
 	flag.Parse()
@@ -115,6 +116,7 @@ func main() {
 		eng := fscoherence.NewRunner(*jobs)
 		eng.SetEngine(*engine)
 		eng.SetMachine(*cores, *topology, *shards)
+		eng.SetSample(*sampled)
 		baseF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.Baseline, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.Baseline)})
 		detF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSDetect, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.FSDetect)})
 		fslF := eng.Submit(*bench, fscoherence.Options{Protocol: fscoherence.FSLite, Variant: v, Scale: *scale, Verify: *verify, Obs: obsFor(fscoherence.FSLite)})
@@ -127,6 +129,7 @@ func main() {
 				r.Stats.Get("net.messages"), r.NormalizedEnergy(base))
 		}
 		printDetections(fsl)
+		printSampled([]*fscoherence.Result{base, det, fsl})
 		if *counters {
 			printCounterColumns([]*fscoherence.Result{base, det, fsl})
 		}
@@ -135,10 +138,16 @@ func main() {
 	}
 
 	r := run(*bench, fscoherence.Options{Protocol: p, Variant: v, Scale: *scale, Verify: *verify, Engine: *engine,
-		Cores: *cores, Topology: *topology, Shards: *shards, Obs: o})
+		Cores: *cores, Topology: *topology, Shards: *shards, Obs: o, Sample: *sampled})
 	writeObs(o, *traceOut, *metrics)
 	fmt.Printf("benchmark %s under %v (%s layout)\n", *bench, p, v)
-	fmt.Printf("cycles          %d\n", r.Cycles)
+	if s := r.Sampled; s != nil {
+		cyc := s.Estimates[stats.CtrCycles]
+		fmt.Printf("cycles          %.0f ± %.0f (95%% CI, coverage %.2f%%, %d windows)\n",
+			cyc.Mean, cyc.CI95, 100*cyc.Coverage, s.Windows)
+	} else {
+		fmt.Printf("cycles          %d\n", r.Cycles)
+	}
 	fmt.Printf("l1d accesses    %d\n", r.Stats.Get("l1d.accesses"))
 	fmt.Printf("l1d miss        %.2f%%\n", 100*r.MissFraction)
 	fmt.Printf("net messages    %d (%d bytes)\n", r.Stats.Get("net.messages"), r.Stats.Get("net.bytes"))
@@ -146,12 +155,36 @@ func main() {
 	fmt.Printf("privatizations  %d, terminations %d\n", r.Stats.Get("fs.privatizations"), r.Stats.Get("fs.terminations"))
 	fmt.Printf("energy          %.0f\n", r.Energy)
 	printDetections(r)
+	printSampled([]*fscoherence.Result{r})
 	if *counters {
 		printCounterColumns([]*fscoherence.Result{r})
 	}
 	if *full {
 		fmt.Println("\ncounters:")
 		fmt.Print(r.Stats.String())
+	}
+}
+
+// printSampled dumps the estimate table of every interval-sampled result:
+// one row per timing-domain metric with its 95% confidence interval.
+// Functionally-accrued counters are exact and do not appear here.
+func printSampled(rs []*fscoherence.Result) {
+	for _, r := range rs {
+		s := r.Sampled
+		if s == nil {
+			continue
+		}
+		fmt.Printf("\nsampled estimates under %v (95%% CI; sample %s, %d windows, %d/%d accesses detailed):\n",
+			r.Protocol, s.Spec, s.Windows, s.Detailed, s.Accesses)
+		names := make([]string, 0, len(s.Estimates))
+		for n := range s.Estimates {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			est := s.Estimates[n]
+			fmt.Printf("  %-18s %18s  (±%.2f%%)\n", n, est.String(), 100*est.RelCI())
+		}
 	}
 }
 

@@ -1,0 +1,46 @@
+package coherence
+
+import (
+	"fmt"
+
+	"fscoherence/internal/memsys"
+)
+
+// PolicyViolations cross-checks the L1 cache against its per-core PAM: every
+// resident line must have a PAM entry and vice versa (the PAM is allocated on
+// fill and taken on eviction, so at quiescence the two track exactly). It is
+// used by the sampling engine's window-boundary oracle and by the fuzz
+// harness; it returns nil when the policy is absent (baseline protocol).
+func (l *L1) PolicyViolations() []string {
+	if l.policy == nil {
+		return nil
+	}
+	var v []string
+	n := 0
+	l.cache.ForEach(func(e *memsys.Entry[l1Line]) {
+		n++
+		if !l.policy.Has(e.Tag) {
+			v = append(v, fmt.Sprintf("core %d: L1 line %v has no PAM entry", l.core, e.Tag))
+		}
+	})
+	if got := l.policy.Entries(); got != n {
+		v = append(v, fmt.Sprintf("core %d: PAM holds %d entries, L1 holds %d lines", l.core, got, n))
+	}
+	return v
+}
+
+// PolicyViolations cross-checks the directory slice against its SAM: every
+// line in the privatized state must have a SAM entry (episode byte-tracking
+// state). Returns nil when the policy is absent.
+func (d *Dir) PolicyViolations() []string {
+	if d.policy == nil {
+		return nil
+	}
+	var v []string
+	d.llc.ForEach(func(e *memsys.Entry[dirLine]) {
+		if e.Payload.state == DirPrv && !d.policy.HasSAMEntry(e.Tag) {
+			v = append(v, fmt.Sprintf("slice %d: PRV line %v has no SAM entry", d.slice, e.Tag))
+		}
+	})
+	return v
+}

@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
 
 	"fscoherence/internal/forensics"
 	"fscoherence/internal/memsys"
@@ -68,18 +69,30 @@ type dirTxn struct {
 }
 
 // dirLine is the per-block payload of an LLC/directory entry.
-type dirLine struct {
+// dirHot is the hot metadata of one directory entry: the fields every
+// protocol event touches (state dispatch, sharer-set updates, ownership
+// checks). Keeping them contiguous at the front of dirLine — apart from the
+// cold pointers below — keeps the common lookup-and-dispatch path inside one
+// cache line of host memory.
+type dirHot struct {
 	state   DirState
-	data    []byte
+	owner   int     // valid when state == DirOwned
 	dirty   bool    // LLC copy differs from memory
 	hasData bool    // data array holds the block (always true when inclusive)
 	sharers coreSet // S sharers, or PRV sharers when state == DirPrv
-	owner   int     // valid when state == DirOwned
-	txn     *dirTxn
-	pendq   []*network.Msg
 
 	// prvSince stamps entry into DirPrv (for episode-length observability).
 	prvSince uint64
+}
+
+// dirLine is the per-entry payload of the LLC slice: the hot metadata
+// (embedded, fields promoted) followed by the cold block data and the
+// transient-transaction pointers that only miss paths touch.
+type dirLine struct {
+	dirHot
+	data  []byte
+	txn   *dirTxn
+	pendq []*network.Msg
 }
 
 // memFill is a pending main-memory access.
@@ -1000,32 +1013,25 @@ func (d *Dir) onWB(m *network.Msg) {
 	}
 }
 
-// mergePrvCopy folds one privatized copy into dst: bytes whose last writer
-// is the responder are copied (§V-C), and reduction words accumulate the
-// responder's delta over its episode base (§VII).
-func (d *Dir) mergePrvCopy(dst []byte, m *network.Msg, src int, blk memsys.Addr) {
-	mask := d.policy.MergeMask(blk, src)
-	for i, take := range mask {
-		if take {
-			dst[i] = m.Data[i]
-		}
+// mergePrvCopy folds one privatized copy (data, with episode base snapshot
+// base) into dst: bytes whose last writer is the responder are copied (§V-C),
+// and reduction words accumulate the responder's delta over its episode base
+// (§VII). The masks are packed one-bit-per-byte words, so the copy walks only
+// the set bits and the reduce pass tests eight bytes at a time.
+func (d *Dir) mergePrvCopy(dst, data, base []byte, src int, blk memsys.Addr) {
+	for mask := d.policy.MergeMask(blk, src); mask != 0; mask &= mask - 1 {
+		i := bits.TrailingZeros64(mask)
+		dst[i] = data[i]
 	}
 	red := d.policy.ReduceMask(blk, src)
-	if len(m.Base) != len(dst) {
+	if red == 0 || len(base) != len(dst) {
 		return
 	}
 	for w := 0; w+8 <= len(dst); w += 8 {
-		any := false
-		for i := w; i < w+8; i++ {
-			if red[i] {
-				any = true
-				break
-			}
-		}
-		if !any {
+		if (red>>uint(w))&0xff == 0 {
 			continue
 		}
-		delta := leWord(m.Data[w:w+8]) - leWord(m.Base[w:w+8])
+		delta := leWord(data[w:w+8]) - leWord(base[w:w+8])
 		putLEWord(dst[w:w+8], leWord(dst[w:w+8])+delta)
 	}
 }
@@ -1052,7 +1058,7 @@ func (d *Dir) onPrvWB(m *network.Msg) {
 	txn := line.txn
 	if txn != nil && txn.kind == txnPrvTerm {
 		// Merge the bytes whose last writer is the responder (§V-C).
-		d.mergePrvCopy(txn.mergeBuf, m, src, e.Tag)
+		d.mergePrvCopy(txn.mergeBuf, m.Data, m.Base, src, e.Tag)
 		d.tracePrvMerge(e.Tag, src)
 		txn.expect.Remove(src)
 		d.sendAfter(&network.Msg{Op: network.OpWBAck, Dst: m.Src, Addr: e.Tag}, d.ctrlLat())
@@ -1063,7 +1069,7 @@ func (d *Dir) onPrvWB(m *network.Msg) {
 		// A TR_PRV receiver evicted its PRV copy before initiation finished.
 		// Its PAM entry was cleared at TR_PRV, so it cannot have written;
 		// merging by the (pre-reset) SAM last-writer info is value-safe.
-		d.mergePrvCopy(line.data, m, src, e.Tag)
+		d.mergePrvCopy(line.data, m.Data, m.Base, src, e.Tag)
 		d.tracePrvMerge(e.Tag, src)
 		line.dirty = true
 		txn.prvJoin.Remove(src)
@@ -1073,7 +1079,7 @@ func (d *Dir) onPrvWB(m *network.Msg) {
 	}
 	if line.state == DirPrv && txn == nil {
 		// Eviction of a privatized copy (§V-D).
-		d.mergePrvCopy(line.data, m, src, e.Tag)
+		d.mergePrvCopy(line.data, m.Data, m.Base, src, e.Tag)
 		d.tracePrvMerge(e.Tag, src)
 		line.dirty = true
 		d.policy.OnPrvEviction(e.Tag, src)
@@ -1234,7 +1240,7 @@ func (d *Dir) allocate(blk memsys.Addr, m *network.Msg) {
 	if ev != nil {
 		panic("dir: insert displaced a line despite victim pre-check")
 	}
-	e.Payload = dirLine{state: DirIdle, txn: &dirTxn{kind: txnMemFill}}
+	e.Payload = dirLine{dirHot: dirHot{state: DirIdle}, txn: &dirTxn{kind: txnMemFill}}
 	m.Retain()
 	e.Payload.pendq = append(e.Payload.pendq, m)
 	d.stats.MaxID(stats.IDDirPendqPeak, uint64(len(e.Payload.pendq)))

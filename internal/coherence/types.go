@@ -195,6 +195,14 @@ type L1Policy interface {
 	// Allocate creates a fresh PAM entry for a newly filled line with the
 	// given SEND_MD value.
 	Allocate(addr memsys.Addr, sendMD bool)
+
+	// Has reports whether a PAM entry exists for the block containing addr.
+	// Invariant (checked at sampling window boundaries): an entry exists
+	// exactly while the block is resident in the core's L1D.
+	Has(addr memsys.Addr) bool
+
+	// Entries returns the number of live PAM entries.
+	Entries() int
 }
 
 // ConflictKind reports the outcome of a directory-side byte conflict check.
@@ -267,9 +275,12 @@ type DirPolicy interface {
 	// SAM entry and FC/IC are cleared so FSDetect restarts cleanly.
 	OnTerminate(addr memsys.Addr)
 
-	// MergeMask returns, for each byte of the block, whether the SAM entry's
-	// valid last writer is core (the §V-C/§V-D byte-merge rule).
-	MergeMask(addr memsys.Addr, core int) []bool
+	// MergeMask returns a packed per-byte mask: bit b is set iff the SAM
+	// entry's valid last writer of byte b is core (the §V-C/§V-D byte-merge
+	// rule). Packing the mask into a word lets the merge walk set bits with
+	// bits.TrailingZeros64 instead of scanning all 64 bytes; it requires
+	// BlockSize <= 64, which core.Config.validate enforces.
+	MergeMask(addr memsys.Addr, core int) uint64
 
 	// OnPrvEviction removes core from the last-writer positions it owns
 	// (after its PrvWB has been merged) per §V-D.
@@ -289,7 +300,13 @@ type DirPolicy interface {
 	// summing per-core deltas.
 	RegisterReduction(r AddrRange)
 
-	// ReduceMask returns, per byte of the block, whether core is recorded
-	// as a reduction writer (the delta-merge positions).
-	ReduceMask(addr memsys.Addr, core int) []bool
+	// ReduceMask returns a packed per-byte mask of the bytes where core is
+	// recorded as a reduction writer (the delta-merge positions), with the
+	// same bit-b-is-byte-b packing as MergeMask.
+	ReduceMask(addr memsys.Addr, core int) uint64
+
+	// HasSAMEntry reports whether a valid SAM entry exists for the block
+	// containing addr (window-boundary agreement checks: privatized blocks
+	// must keep their pinned SAM entry for the whole PRV episode).
+	HasSAMEntry(addr memsys.Addr) bool
 }

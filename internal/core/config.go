@@ -14,6 +14,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"fscoherence/internal/coherence"
 	"fscoherence/internal/forensics"
 	"fscoherence/internal/memsys"
@@ -97,11 +99,14 @@ func DefaultConfig(cores, blockSize int, mode coherence.Protocol) Config {
 func (c Config) grains() int { return c.BlockSize / c.Granularity }
 
 // grainRange converts a byte range into an inclusive grain index range.
+// Granularity is a validated power of two, so the division is a shift — this
+// runs once or twice per committed access on the PAM hot path.
 func (c Config) grainRange(off, size int) (int, int) {
 	if size <= 0 {
 		return 0, -1 // empty (prefetch)
 	}
-	return off / c.Granularity, (off + size - 1) / c.Granularity
+	sh := uint(bits.TrailingZeros8(uint8(c.Granularity)))
+	return off >> sh, (off + size - 1) >> sh
 }
 
 func (c Config) validate() {
@@ -115,6 +120,11 @@ func (c Config) validate() {
 	}
 	if c.BlockSize%c.Granularity != 0 || c.grains() > 64 {
 		panic("core: block size / granularity must divide and fit 64 grains")
+	}
+	if c.BlockSize > 64 {
+		// MergeMask/ReduceMask pack one bit per byte of the block into a
+		// uint64, so blocks larger than 64 bytes are unrepresentable.
+		panic("core: BlockSize must be <= 64 for packed byte masks")
 	}
 	if c.SAMEntries%c.SAMWays != 0 {
 		panic("core: SAM geometry invalid")

@@ -478,19 +478,18 @@ func (d *DirSide) OnTerminate(addr memsys.Addr) {
 	d.sam.invalidate(addr.BlockAlign(d.cfg.BlockSize))
 }
 
-// MergeMask expands the per-grain last-writer information into a per-byte
-// take-from-this-core mask (§V-C, §V-D).
-func (d *DirSide) MergeMask(addr memsys.Addr, core int) []bool {
-	mask := make([]bool, d.cfg.BlockSize)
+// MergeMask expands the per-grain last-writer information into a packed
+// per-byte take-from-this-core mask: bit b covers byte b (§V-C, §V-D).
+func (d *DirSide) MergeMask(addr memsys.Addr, core int) uint64 {
 	e := d.sam.peek(addr)
 	if e == nil {
-		return mask
+		return 0
 	}
+	var mask uint64
+	grainBytes := uint64(1)<<uint(d.cfg.Granularity) - 1
 	for g := 0; g < d.cfg.grains(); g++ {
 		if e.lastWriter[g] == int16(core) {
-			for b := g * d.cfg.Granularity; b < (g+1)*d.cfg.Granularity; b++ {
-				mask[b] = true
-			}
+			mask |= grainBytes << uint(g*d.cfg.Granularity)
 		}
 	}
 	return mask
@@ -563,22 +562,27 @@ func (d *DirSide) grainInRegion(addr memsys.Addr, g int) bool {
 	return false
 }
 
-// ReduceMask expands the per-grain reduction-writer bit of core into a
-// per-byte mask (the delta-merge positions, §VII).
-func (d *DirSide) ReduceMask(addr memsys.Addr, core int) []bool {
-	mask := make([]bool, d.cfg.BlockSize)
+// ReduceMask expands the per-grain reduction-writer bit of core into a packed
+// per-byte mask (the delta-merge positions, §VII), bit b covering byte b.
+func (d *DirSide) ReduceMask(addr memsys.Addr, core int) uint64 {
 	e := d.sam.peek(addr)
 	if e == nil {
-		return mask
+		return 0
 	}
+	var mask uint64
+	grainBytes := uint64(1)<<uint(d.cfg.Granularity) - 1
 	for g := 0; g < d.cfg.grains(); g++ {
 		if e.redWriters[g].Has(core) {
-			for b := g * d.cfg.Granularity; b < (g+1)*d.cfg.Granularity; b++ {
-				mask[b] = true
-			}
+			mask |= grainBytes << uint(g*d.cfg.Granularity)
 		}
 	}
 	return mask
+}
+
+// HasSAMEntry reports whether a (valid, possibly pinned) SAM entry exists for
+// the block containing addr (window-boundary agreement checks).
+func (d *DirSide) HasSAMEntry(addr memsys.Addr) bool {
+	return d.sam.peek(addr) != nil
 }
 
 // SAMValid returns the number of valid SAM entries (testing aid).

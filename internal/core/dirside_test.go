@@ -38,16 +38,19 @@ func TestRepMDRecordsWritersAndReaders(t *testing.T) {
 	}
 	mask := d.MergeMask(blkA, 1)
 	for i := 0; i < 8; i++ {
-		if !mask[i] {
+		if !maskBit(mask, i) {
 			t.Fatalf("byte %d should belong to core 1", i)
 		}
 	}
 	for i := 8; i < 64; i++ {
-		if mask[i] {
+		if maskBit(mask, i) {
 			t.Fatalf("byte %d should not belong to core 1", i)
 		}
 	}
 }
+
+// maskBit reads byte i's bit of a packed per-byte mask.
+func maskBit(m uint64, i int) bool { return m&(1<<uint(i)) != 0 }
 
 func TestRepMDTrueSharingRules(t *testing.T) {
 	// §IV condition (i): read-only byte with a valid foreign last writer.
@@ -237,19 +240,16 @@ func TestMergeMaskAndPrvEviction(t *testing.T) {
 	d.RecordBytes(blkA, 2, 8, 8, true)
 	m1 := d.MergeMask(blkA, 1)
 	m2 := d.MergeMask(blkA, 2)
-	if !m1[0] || m1[8] || !m2[8] || m2[0] {
+	if !maskBit(m1, 0) || maskBit(m1, 8) || !maskBit(m2, 8) || maskBit(m2, 0) {
 		t.Fatal("merge masks wrong")
 	}
 	// §V-D: eviction clears the evictor's last-writer slots.
 	d.OnPrvEviction(blkA, 1)
-	m1 = d.MergeMask(blkA, 1)
-	for i := range m1 {
-		if m1[i] {
-			t.Fatal("mask not cleared after eviction")
-		}
+	if d.MergeMask(blkA, 1) != 0 {
+		t.Fatal("mask not cleared after eviction")
 	}
 	// Core 2's slots survive.
-	if !d.MergeMask(blkA, 2)[8] {
+	if !maskBit(d.MergeMask(blkA, 2), 8) {
 		t.Fatal("other core's slots disturbed")
 	}
 }
@@ -297,7 +297,7 @@ func TestSAMEvictionForcesTermination(t *testing.T) {
 		t.Fatal("no forced termination after SAM displacement")
 	}
 	// The displaced entry's merge history must survive until termination.
-	if !d.MergeMask(forced[0], 1)[0] && forced[0] == blkA {
+	if !maskBit(d.MergeMask(forced[0], 1), 0) && forced[0] == blkA {
 		t.Fatal("victim-buffer merge history lost")
 	}
 	d.OnTerminate(forced[0])
@@ -385,7 +385,7 @@ func TestOnDirEvictionDropsEverything(t *testing.T) {
 	if d.TrueSharing(blkA) || d.PendingMetadata(blkA) != 0 {
 		t.Fatal("metadata survived directory eviction")
 	}
-	if d.MergeMask(blkA, 1)[0] {
+	if maskBit(d.MergeMask(blkA, 1), 0) {
 		t.Fatal("SAM entry survived directory eviction")
 	}
 }
@@ -395,7 +395,7 @@ func TestPrivatizeResetsSAMEntry(t *testing.T) {
 	d.OnRepMD(blkA, 1, 0, mdBits(0, 8))
 	d.OnPrivatize(blkA)
 	// The pre-episode last writers must be gone (§V-A resets the entry).
-	if d.MergeMask(blkA, 1)[0] {
+	if maskBit(d.MergeMask(blkA, 1), 0) {
 		t.Fatal("SAM entry not reset at privatization")
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"fscoherence/internal/coherence"
 	"fscoherence/internal/memsys"
@@ -24,38 +25,80 @@ type pamEntry struct {
 // resident in the core's L1D, matching the paper's one-entry-per-L1-line
 // organization (512 entries for a 32 KB L1D).
 type PAM struct {
-	cfg     Config
-	core    int
-	entries map[memsys.Addr]*pamEntry
-	stats   *stats.Set
+	cfg      Config
+	core     int
+	blkShift uint // log2(BlockSize), precomputed for the mru slot hash
+	entries  map[memsys.Addr]*pamEntry
+	stats    *stats.Set
+
+	// mru is an 8-slot direct-mapped shortcut past the map lookup (slot chosen
+	// by low line-address bits) — the commit path touches a handful of blocks
+	// in a tight rotation (a falsely shared line plus a few streaming lines),
+	// so a small direct-mapped cache captures almost all OnAccess/HasBits
+	// lookups. Slots are invalidated when their block's entry is dropped.
+	mruBlks [8]memsys.Addr
+	mruEnts [8]*pamEntry
 }
 
 // NewPAM builds the PAM table for one core.
 func NewPAM(cfg Config, core int, st *stats.Set) *PAM {
 	cfg.validate()
-	return &PAM{cfg: cfg, core: core, entries: make(map[memsys.Addr]*pamEntry), stats: st}
+	return &PAM{
+		cfg:      cfg,
+		core:     core,
+		blkShift: uint(bits.TrailingZeros(uint(cfg.BlockSize))),
+		entries:  make(map[memsys.Addr]*pamEntry),
+		stats:    st,
+	}
 }
 
-// mask returns the grain bit-mask covering [off, off+size).
+// mask returns the grain bit-mask covering [off, off+size), computed in
+// closed form: a width-(hi-lo+1) run of ones shifted to lo. Byte granularity
+// (the default, and the hot path) needs no grain conversion at all: access
+// sizes are capped at 8 bytes, so the run never saturates.
 func (p *PAM) mask(off, size int) uint64 {
+	if p.cfg.Granularity == 1 {
+		if size <= 0 {
+			return 0
+		}
+		return ((uint64(1) << uint(size)) - 1) << uint(off)
+	}
 	lo, hi := p.cfg.grainRange(off, size)
 	if hi < lo {
 		return 0
 	}
-	var m uint64
-	for g := lo; g <= hi; g++ {
-		m |= 1 << uint(g)
+	n := uint(hi - lo + 1)
+	if n >= 64 {
+		return ^uint64(0)
 	}
-	return m
+	return ((uint64(1) << n) - 1) << uint(lo)
+}
+
+// mruSlot maps a block address to its direct-mapped mru slot.
+func (p *PAM) mruSlot(blk memsys.Addr) int {
+	return int((uint64(blk) >> p.blkShift) & 7)
 }
 
 func (p *PAM) entry(addr memsys.Addr) *pamEntry {
-	return p.entries[addr.BlockAlign(p.cfg.BlockSize)]
+	blk := addr.BlockAlign(p.cfg.BlockSize)
+	s := p.mruSlot(blk)
+	if e := p.mruEnts[s]; e != nil && p.mruBlks[s] == blk {
+		return e
+	}
+	e := p.entries[blk]
+	if e != nil {
+		p.mruBlks[s], p.mruEnts[s] = blk, e
+	}
+	return e
 }
 
 // Allocate creates a fresh (cleared) entry for a newly filled line.
 func (p *PAM) Allocate(addr memsys.Addr, sendMD bool) {
-	p.entries[addr.BlockAlign(p.cfg.BlockSize)] = &pamEntry{sendMD: sendMD}
+	blk := addr.BlockAlign(p.cfg.BlockSize)
+	e := &pamEntry{sendMD: sendMD}
+	p.entries[blk] = e
+	s := p.mruSlot(blk)
+	p.mruBlks[s], p.mruEnts[s] = blk, e
 }
 
 // OnAccess sets the read or write bits for a committed access.
@@ -70,7 +113,7 @@ func (p *PAM) OnAccess(addr memsys.Addr, off, size int, write bool) {
 	} else {
 		e.read |= m
 	}
-	p.stats.Inc(stats.CtrPAMUpdates)
+	p.stats.IncID(stats.IDPAMUpdates)
 }
 
 // HasBits reports whether the entry already covers the range: write bits for
@@ -117,13 +160,25 @@ func (p *PAM) TakeEntry(addr memsys.Addr) (uint64, uint64, bool, bool) {
 		return 0, 0, false, false
 	}
 	delete(p.entries, blk)
+	if s := p.mruSlot(blk); p.mruBlks[s] == blk {
+		p.mruEnts[s] = nil
+	}
 	return e.read, e.write, e.sendMD, true
 }
 
 // Drop invalidates the entry without reading it.
 func (p *PAM) Drop(addr memsys.Addr) {
-	delete(p.entries, addr.BlockAlign(p.cfg.BlockSize))
+	blk := addr.BlockAlign(p.cfg.BlockSize)
+	delete(p.entries, blk)
+	if s := p.mruSlot(blk); p.mruBlks[s] == blk {
+		p.mruEnts[s] = nil
+	}
 }
+
+// Has reports whether an entry exists for the block containing addr (the
+// window-boundary agreement checks: an entry exists exactly while the block
+// is resident in the core's L1D).
+func (p *PAM) Has(addr memsys.Addr) bool { return p.entry(addr) != nil }
 
 // Entries returns the number of live entries (testing aid).
 func (p *PAM) Entries() int { return len(p.entries) }

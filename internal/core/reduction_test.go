@@ -21,11 +21,11 @@ func TestReductionWritersDoNotConflict(t *testing.T) {
 		t.Fatal("a third reduction writer must not conflict")
 	}
 	// Both cores' reduce masks cover the word.
-	if !d.ReduceMask(blkA, 1)[0] || !d.ReduceMask(blkA, 2)[0] {
+	if !maskBit(d.ReduceMask(blkA, 1), 0) || !maskBit(d.ReduceMask(blkA, 2), 0) {
 		t.Fatal("reduction writers not recorded")
 	}
 	// Neither is a last-writer (the byte-copy merge must not fire).
-	if d.MergeMask(blkA, 1)[0] || d.MergeMask(blkA, 2)[0] {
+	if maskBit(d.MergeMask(blkA, 1), 0) || maskBit(d.MergeMask(blkA, 2), 0) {
 		t.Fatal("reduction writes must not set the last writer")
 	}
 }
@@ -63,7 +63,7 @@ func TestReductionOutsideRegionUnchanged(t *testing.T) {
 	if d.CheckBytes(blkA, 2, 32, 8, true) == coherence.NoConflict {
 		t.Fatal("outside the region, write-write must conflict")
 	}
-	if !d.MergeMask(blkA, 1)[32] {
+	if !maskBit(d.MergeMask(blkA, 1), 32) {
 		t.Fatal("outside the region, the last writer must be recorded")
 	}
 }
@@ -92,10 +92,10 @@ func TestReductionPrvEvictionClearsBits(t *testing.T) {
 	d.RecordBytes(blkA, 1, 0, 8, true)
 	d.RecordBytes(blkA, 2, 0, 8, true)
 	d.OnPrvEviction(blkA, 1)
-	if d.ReduceMask(blkA, 1)[0] {
+	if maskBit(d.ReduceMask(blkA, 1), 0) {
 		t.Fatal("evictor's reduction bit survived")
 	}
-	if !d.ReduceMask(blkA, 2)[0] {
+	if !maskBit(d.ReduceMask(blkA, 2), 0) {
 		t.Fatal("other core's reduction bit lost")
 	}
 }

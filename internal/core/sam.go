@@ -150,7 +150,7 @@ func NewSAM(cfg Config, slice int, st *stats.Set) *SAM {
 // lookup returns the entry for addr, or nil.
 func (s *SAM) lookup(addr memsys.Addr) *samEntry {
 	e := s.table.Lookup(addr)
-	s.stats.Inc(stats.CtrSAMLookups)
+	s.stats.IncID(stats.IDSAMLookups)
 	if e == nil {
 		return nil
 	}
@@ -182,6 +182,13 @@ func (s *SAM) ensure(addr memsys.Addr) *samEntry {
 	if e := s.lookup(addr); e != nil {
 		return e
 	}
+	// A displaced privatized entry awaiting forced termination still owns the
+	// episode's merge history: record into it rather than allocating a fresh
+	// table entry that would shadow it (and lose the last-writer bytes when
+	// the termination finally merges).
+	if v := s.victims[addr.BlockAlign(s.cfg.BlockSize)]; v != nil {
+		return v
+	}
 	if s.table.Victim(addr) == nil {
 		// Every way of the set is pinned (all privatized): forcibly
 		// displace one of them into the victim buffer.
@@ -195,7 +202,7 @@ func (s *SAM) ensure(addr memsys.Addr) *samEntry {
 	}
 	ent, evicted := s.table.Insert(addr)
 	if evicted != nil {
-		s.stats.Inc(stats.CtrSAMReplacements)
+		s.stats.IncID(stats.IDSAMReplacements)
 		if s.isPrv != nil && s.isPrv(evicted.Tag) {
 			// Defensive: privatized entries are pinned and should not be
 			// chosen by Insert, but never lose merge history if one is.
@@ -222,7 +229,7 @@ func (s *SAM) anyInSet(addr memsys.Addr) (memsys.Addr, bool) {
 // displacePrv stashes a privatized block's entry for the pending forced
 // termination's byte merge.
 func (s *SAM) displacePrv(tag memsys.Addr, payload *samEntry) {
-	s.stats.Inc(stats.CtrSAMReplacements)
+	s.stats.IncID(stats.IDSAMReplacements)
 	s.victims[tag] = payload
 	s.evictedPrv = append(s.evictedPrv, tag)
 }

@@ -36,7 +36,13 @@ func newAccessSlot(fin func(uint64, *accessSlot)) *accessSlot {
 		}
 	}
 	s.acc.RMW = func(old []byte) []byte {
-		return encodeInto(&s.buf, s.op.Fn(decodeLE(old)), s.op.Size)
+		v := decodeLE(old)
+		if s.op.Fn != nil {
+			v = s.op.Fn(v)
+		} else {
+			v += s.op.Value // nil Fn: the AtomicAdd encoding
+		}
+		return encodeInto(&s.buf, v, s.op.Size)
 	}
 	return s
 }

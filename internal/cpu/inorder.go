@@ -48,6 +48,7 @@ type InOrder struct {
 	busyUntil uint64
 	waiting   bool // a memory access is outstanding
 	retry     bool // access rejected by the L1; retry each cycle
+	hold      bool // issue held at a sampling window boundary (drain)
 	cur       Op
 	haveOp    bool
 
@@ -92,6 +93,9 @@ func (c *InOrder) Tick(now uint64) {
 		}
 		return
 	}
+	if c.hold {
+		return // draining at a sampling window boundary: no new issues
+	}
 	if !c.haveOp {
 		if !c.fetch() {
 			return
@@ -124,10 +128,68 @@ func (c *InOrder) NextEvent(now uint64) uint64 {
 	if c.busyUntil > now {
 		return c.busyUntil
 	}
-	if c.waiting {
+	if c.waiting || c.hold {
 		return NoEvent
 	}
 	return now + 1
+}
+
+// HoldIssue gates the issue of new operations: while held, the core still
+// retries and completes its outstanding access (counting stalls as usual) but
+// fetches nothing new. The sampling scheduler holds all cores to drain the
+// machine at a window boundary.
+func (c *InOrder) HoldIssue(v bool) { c.hold = v }
+
+// Outstanding reports whether a memory access is in flight (the drain
+// condition: a held core is quiesced once this is false).
+func (c *InOrder) Outstanding() bool { return c.waiting }
+
+// WarmRun executes up to budget of the thread's operations functionally,
+// committing each through sink, which must perform the full architectural
+// effect — caches, metadata, memory values, commit counters — with no timing.
+// Compute bursts are passed through the sink like every other operation.
+//
+// The quantum runs inside the thread coroutine (the hot Ctx methods commit
+// inline while warm mode is armed), so it costs one coroutine round trip
+// total instead of one per operation. The operation that exhausts the budget
+// is yielded back unexecuted and held as the core's fetched op; the next
+// WarmRun — or the detailed engine's Tick — executes it, so warming can stop
+// and resume at any operation boundary. Returns the number of operations
+// committed and whether the thread is still alive.
+func (c *InOrder) WarmRun(sink WarmSink, budget uint64) (uint64, bool) {
+	if c.waiting {
+		panic("cpu: WarmRun with an outstanding access (machine not drained)")
+	}
+	if c.Finished() || budget == 0 {
+		return 0, !c.Finished()
+	}
+	var done uint64
+	// A boundary-yielded op (fetched but not executed) commits first; its
+	// result is delivered through the normal resume path.
+	if c.haveOp {
+		c.haveOp = false
+		c.runner.complete(sink.ApplyOp(&c.cur))
+		done++
+		if done >= budget {
+			return done, true
+		}
+	}
+	if c.exhausted {
+		return done, false
+	}
+	ctx := c.runner.ctx
+	quantum := budget - done
+	ctx.warmSink = sink
+	ctx.warmBudget = quantum
+	op, ok := c.runner.next()
+	done += quantum - ctx.warmBudget
+	ctx.warmSink = nil
+	if !ok {
+		c.exhausted = true
+		return done, false
+	}
+	c.cur, c.haveOp = op, true
+	return done, true
 }
 
 // SkipIdle applies the stall accounting of n skipped cycles. The engine only

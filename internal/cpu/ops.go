@@ -53,8 +53,8 @@ type Op struct {
 	Kind   OpKind
 	Addr   memsys.Addr
 	Size   int
-	Value  uint64   // store value
-	Fn     AtomicFn // atomic update function
+	Value  uint64   // store value; atomic add delta when Fn is nil
+	Fn     AtomicFn // atomic update function; nil means old + Value (the alloc-free AtomicAdd encoding)
 	Cycles uint64   // compute duration
 
 	// Async marks a memory operation whose result the thread does not

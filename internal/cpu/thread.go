@@ -30,13 +30,62 @@ type Ctx struct {
 	id    int
 	yield func(Op) bool
 	res   uint64
+
+	// Direct-apply warming mode (see InOrder.WarmRun): while warmSink is
+	// set, the hot Ctx methods commit operations inline through it instead of
+	// yielding, so a functional-warming quantum costs one coroutine round
+	// trip instead of one per operation — and the hot methods (Load, Store,
+	// AtomicAdd, Compute) never even build an Op, calling the sink's typed
+	// methods directly (constructing and copying the 64-byte Op per warmed
+	// commit used to dominate warming profiles). warmBudget counts the
+	// operations left in the quantum; the op that finds it exhausted leaves
+	// warm mode and yields normally, handing control back to the core model
+	// unexecuted. warmOp is the scratch slot do() hands to ApplyOp by pointer
+	// on the rare op kinds without a typed fast path.
+	warmSink   WarmSink
+	warmBudget uint64
+	warmOp     Op
+}
+
+// WarmSink commits operations functionally — full architectural effect
+// (caches, metadata, memory values, commit counters), no timing. The typed
+// methods mirror the hot Ctx entry points so warming skips Op construction;
+// ApplyOp is the generic path for boundary-held ops and the rarer kinds.
+// Loads and atomics return the loaded (pre-RMW) value.
+type WarmSink interface {
+	Load(addr memsys.Addr, size int) uint64
+	Store(addr memsys.Addr, size int, v uint64)
+	AtomicAdd(addr memsys.Addr, size int, delta uint64) uint64
+	Compute(n uint64)
+	ApplyOp(op *Op) uint64
+}
+
+// warmTake consumes one unit of warm budget if warming is armed, leaving warm
+// mode when the quantum is exhausted. It reports whether the caller should
+// commit through the sink.
+func (c *Ctx) warmTake() bool {
+	if c.warmSink == nil {
+		return false
+	}
+	if c.warmBudget == 0 {
+		c.warmSink = nil
+		return false
+	}
+	c.warmBudget--
+	return true
 }
 
 // ID returns the thread's (== core's) index.
 func (c *Ctx) ID() int { return c.id }
 
-// do performs the synchronous handshake for one operation.
+// do performs the synchronous handshake for one operation. In warm mode it
+// commits through the sink's generic ApplyOp instead (via the warmOp scratch
+// slot, so the op does not escape into a heap allocation).
 func (c *Ctx) do(op Op) uint64 {
+	if c.warmTake() {
+		c.warmOp = op
+		return c.warmSink.ApplyOp(&c.warmOp)
+	}
 	if !c.yield(op) {
 		// The core stopped the coroutine: unwind the thread function.
 		panic(threadAborted{})
@@ -55,6 +104,9 @@ func checkSize(size int) {
 // Load reads a size-byte little-endian value and returns it.
 func (c *Ctx) Load(addr memsys.Addr, size int) uint64 {
 	checkSize(size)
+	if c.warmTake() {
+		return c.warmSink.Load(addr, size)
+	}
 	return c.do(Op{Kind: OpLoad, Addr: addr, Size: size})
 }
 
@@ -68,6 +120,10 @@ func (c *Ctx) LoadAsync(addr memsys.Addr, size int) {
 // Store writes a size-byte little-endian value.
 func (c *Ctx) Store(addr memsys.Addr, size int, v uint64) {
 	checkSize(size)
+	if c.warmTake() {
+		c.warmSink.Store(addr, size, v)
+		return
+	}
 	c.do(Op{Kind: OpStore, Addr: addr, Size: size, Value: v, Async: true})
 }
 
@@ -84,9 +140,15 @@ func (c *Ctx) AtomicRMW(addr memsys.Addr, size int, fn AtomicFn) uint64 {
 	return c.do(Op{Kind: OpAtomic, Addr: addr, Size: size, Fn: fn})
 }
 
-// AtomicAdd atomically adds delta and returns the old value.
+// AtomicAdd atomically adds delta and returns the old value. Encoded as an
+// atomic with a nil Fn and the delta in Value, so the hottest RMW needs no
+// per-call closure allocation.
 func (c *Ctx) AtomicAdd(addr memsys.Addr, size int, delta uint64) uint64 {
-	return c.AtomicRMW(addr, size, func(old uint64) uint64 { return old + delta })
+	checkSize(size)
+	if c.warmTake() {
+		return c.warmSink.AtomicAdd(addr, size, delta)
+	}
+	return c.do(Op{Kind: OpAtomic, Addr: addr, Size: size, Value: delta})
 }
 
 // TestAndSet atomically sets the location to 1 and returns the old value.
@@ -109,6 +171,10 @@ func (c *Ctx) Reduce(addr memsys.Addr, size int, delta uint64) {
 // Compute spends n cycles of local computation.
 func (c *Ctx) Compute(n uint64) {
 	if n == 0 {
+		return
+	}
+	if c.warmTake() {
+		c.warmSink.Compute(n)
 		return
 	}
 	c.do(Op{Kind: OpCompute, Cycles: n})

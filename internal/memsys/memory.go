@@ -64,6 +64,21 @@ func (m *Memory) SetByte(a Addr, v byte) {
 	b[a.BlockOffset(m.blockSize)] = v
 }
 
+// BlockSlice returns the live storage of the block containing a, allocating
+// it if needed. Unlike ReadBlock it does not copy: writes through the slice
+// update memory directly, and the slice is invalidated by nothing (blocks are
+// never freed). The functional-warming fast path uses it to touch block bytes
+// without a copy per access.
+func (m *Memory) BlockSlice(a Addr) []byte {
+	ba := a.BlockAlign(m.blockSize)
+	b, ok := m.blocks[ba]
+	if !ok {
+		b = make([]byte, m.blockSize)
+		m.blocks[ba] = b
+	}
+	return b
+}
+
 // BlocksAllocated returns how many distinct blocks have been touched.
 func (m *Memory) BlocksAllocated() int { return len(m.blocks) }
 

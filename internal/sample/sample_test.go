@@ -1,0 +1,108 @@
+package sample
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in       string
+		det, wrm uint64
+	}{
+		{"", 0, 0},
+		{"50k:950k", 50_000, 950_000},
+		{"1m:19m", 1_000_000, 19_000_000},
+		{"1g:9g", 1_000_000_000, 9_000_000_000},
+		{"100:900", 100, 900},
+		{"2K:8M", 2_000, 8_000_000},
+	}
+	for _, c := range cases {
+		s, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if s.Detailed != c.det || s.Warming != c.wrm {
+			t.Fatalf("ParseSpec(%q) = %+v, want %d:%d", c.in, s, c.det, c.wrm)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"50k", ":", "50k:", ":950k", "0:950k", "50k:0", "abc:def",
+		"5x:10", "-1:10", "1.5k:10", "0k:10", "99999999999g:1",
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted a malformed spec", in)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, in := range []string{"50k:950k", "1m:19m", "123:456", "1g:9g"} {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseSpec(s.String())
+		if err != nil || back != s {
+			t.Fatalf("round trip %q -> %q -> %+v", in, s.String(), back)
+		}
+	}
+	if (Spec{}).String() != "" {
+		t.Fatal("disabled spec should render empty")
+	}
+}
+
+func TestEstimatorExact(t *testing.T) {
+	// Perfectly uniform rate: estimate is exact, CI is zero.
+	var e Estimator
+	for i := 0; i < 10; i++ {
+		e.Observe(300, 100) // 3 counts per access
+	}
+	est := e.Estimate(10_000)
+	if est.Mean != 30_000 {
+		t.Fatalf("mean = %v, want 30000", est.Mean)
+	}
+	if est.CI95 != 0 {
+		t.Fatalf("uniform windows should have zero CI, got %v", est.CI95)
+	}
+	if est.Coverage != 0.1 {
+		t.Fatalf("coverage = %v, want 0.1", est.Coverage)
+	}
+	if est.Windows != 10 {
+		t.Fatalf("windows = %d", est.Windows)
+	}
+}
+
+func TestEstimatorVariance(t *testing.T) {
+	// Two windows with rates 1 and 3: mean rate 2, sd sqrt(2),
+	// CI = 1.96*sqrt(2)/sqrt(2)*N = 1.96*N.
+	var e Estimator
+	e.Observe(100, 100)
+	e.Observe(300, 100)
+	est := e.Estimate(1_000)
+	if est.Mean != 2_000 {
+		t.Fatalf("mean = %v, want 2000", est.Mean)
+	}
+	want := 1.96 * 1_000.0
+	if math.Abs(est.CI95-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", est.CI95, want)
+	}
+}
+
+func TestEstimatorDegenerate(t *testing.T) {
+	var e Estimator
+	if got := e.Estimate(100); got.Mean != 0 || got.CI95 != 0 {
+		t.Fatalf("empty estimator should be zero, got %+v", got)
+	}
+	e.Observe(50, 100)
+	if got := e.Estimate(0); got.Coverage != 0 {
+		t.Fatalf("zero total should not divide, got %+v", got)
+	}
+	one := e.Estimate(200)
+	if one.Mean != 100 || one.CI95 != 0 {
+		t.Fatalf("single window: %+v", one)
+	}
+}

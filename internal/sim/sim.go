@@ -15,6 +15,7 @@ import (
 	"fscoherence/internal/memsys"
 	"fscoherence/internal/network"
 	"fscoherence/internal/obs"
+	"fscoherence/internal/sample"
 	"fscoherence/internal/stats"
 )
 
@@ -93,6 +94,15 @@ type Config struct {
 	// decision timelines, repair-efficacy attribution). Nil disables it
 	// entirely at zero per-event cost.
 	Forensics *forensics.Recorder
+
+	// Sample enables SMARTS-style interval sampling: detailed windows of
+	// Sample.Detailed committed accesses (full timing under the skip engine)
+	// alternate with functional-warming windows of Sample.Warming accesses (no
+	// timing; see coherence.Warmer). Timing-domain counters are estimated from
+	// the detailed windows with confidence intervals (Result.Sampled); all
+	// other counters accrue exactly. Requires the in-order two-level inclusive
+	// machine with no observers (see sampled.go for the full gating).
+	Sample sample.Spec
 }
 
 // DefaultConfig returns a Table II system in the given protocol mode with
@@ -137,6 +147,12 @@ type Result struct {
 	// corresponding checks were enabled and a protocol bug was observed.
 	OracleViolations []string
 	SWMRViolations   []string
+
+	// Sampled is non-nil for interval-sampled runs (Config.Sample): the
+	// per-counter estimates with confidence intervals, plus window accounting.
+	// For sampled runs, Cycles and the timing-domain counters in Stats hold
+	// the rounded estimate means.
+	Sampled *SampledRun
 }
 
 // System is an assembled simulation ready to run.
@@ -169,6 +185,11 @@ type System struct {
 
 	// cycleHook, when set (tests), runs at the start of every cycle.
 	cycleHook func(cycle uint64)
+
+	// boundaryHook, when set (tests), runs at every sampling window boundary,
+	// right after the drain: the machine is architecturally quiescent when it
+	// fires, so invariant oracles may scan freely.
+	boundaryHook func(cycle uint64)
 
 	// stopReason, when non-empty, aborts the run loop (RequestStop).
 	stopReason string
@@ -447,6 +468,9 @@ func (s *System) Run(name string) (*Result, error) {
 	if maxCycles == 0 {
 		maxCycles = 500_000_000
 	}
+	if s.cfg.Sample.Enabled() {
+		return s.runSampled(name, maxCycles)
+	}
 	if s.par != nil {
 		if s.cycleHook != nil || s.observerInstalled {
 			panic("sim: cycle hooks and commit observers are not supported by EngineParallel")
@@ -475,6 +499,12 @@ func (s *System) Run(name string) (*Result, error) {
 			}
 		}
 	}
+	return s.buildResult(name), nil
+}
+
+// buildResult closes out observability and assembles the Result from the
+// system's final state (shared by the timed and sampled run loops).
+func (s *System) buildResult(name string) *Result {
 	s.stats.SetID(stats.IDCycles, s.cycle)
 	// Close out observability: privatized episodes still open at the end of
 	// the run emit their terminate event, then a final metrics sample
@@ -499,7 +529,7 @@ func (s *System) Run(name string) (*Result, error) {
 		res.OracleViolations = s.oracle.Violations()
 	}
 	res.SWMRViolations = s.swmrBad
-	return res, nil
+	return res
 }
 
 // stepCycle runs one full simulation cycle: the per-cycle hook, every

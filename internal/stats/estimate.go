@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimate is a sampled metric: a point estimate extrapolated from detailed
+// windows plus a 95% confidence interval and the fraction of the run that was
+// measured in detail. Sampled runs (internal/sample) attach one Estimate per
+// timing-domain counter; functionally-accrued counters are exact and carry no
+// Estimate.
+type Estimate struct {
+	// Mean is the extrapolated whole-run value (the ratio estimator applied
+	// to the detailed windows).
+	Mean float64
+
+	// CI95 is the half-width of the 95% confidence interval around Mean,
+	// from the across-window variance of the per-access rate. Zero when
+	// fewer than two detailed windows completed.
+	CI95 float64
+
+	// Coverage is the fraction of committed accesses measured in detailed
+	// windows (the SMARTS "detail fraction").
+	Coverage float64
+
+	// Windows is the number of completed detailed windows the estimate
+	// aggregates.
+	Windows int
+}
+
+// RelCI returns CI95 as a fraction of Mean (0 when Mean is 0).
+func (e Estimate) RelCI() float64 {
+	if e.Mean == 0 {
+		return 0
+	}
+	return e.CI95 / math.Abs(e.Mean)
+}
+
+// String renders "mean ± ci" with the interval in absolute terms.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.0f ± %.0f", e.Mean, e.CI95)
+}

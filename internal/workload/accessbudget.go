@@ -1,0 +1,20 @@
+package workload
+
+// GridScaleForAccesses returns the Scale at which the uGRID workload on the
+// given core count commits approximately the requested number of L1D
+// accesses. Each uGRID thread performs 3 memory accesses per iteration (one
+// atomic increment of its shared slot, one load and one store of private
+// streaming traffic) over s.n(300) iterations, so the total access count is
+// about 900·scale·cores. Benchmarks and the sampling harness use it to size
+// 10^9-access cells without hand-tuning -scale.
+func GridScaleForAccesses(cores int, accesses uint64) Scale {
+	if cores <= 0 {
+		cores = threadsFS
+	}
+	perUnit := 900 * float64(cores) // 3 accesses/iter × 300 base iters × cores
+	s := float64(accesses) / perUnit
+	if s < 1 {
+		s = 1
+	}
+	return Scale(s)
+}

@@ -10,6 +10,7 @@ import (
 	"fscoherence/internal/memsys"
 	"fscoherence/internal/network"
 	"fscoherence/internal/obs"
+	"fscoherence/internal/sample"
 	"fscoherence/internal/sim"
 	"fscoherence/internal/stats"
 	"fscoherence/internal/workload"
@@ -123,6 +124,17 @@ type Options struct {
 	// internal/forensics). Nil — the default — disables it at zero cost.
 	// Like Obs, the pointer keeps Options comparable.
 	Forensics *forensics.Recorder
+
+	// Sample enables SMARTS-style interval sampling as a "detailed:warming"
+	// spec in committed accesses, e.g. "50k:950k" (see internal/sample).
+	// Detailed windows run the full timed engine; warming windows apply every
+	// architectural state change — caches, directory, PAM/SAM, memory values —
+	// with no timing, keeping detection and repair state warm. Timing-domain
+	// metrics come back as estimates with confidence intervals
+	// (Result.Sampled); all other counters are exact. Sampling requires the
+	// default machine shape: skip engine, in-order cores, two-level inclusive
+	// hierarchy, no Verify/Obs/Forensics attachments.
+	Sample string
 }
 
 // Result summarizes one run.
@@ -164,7 +176,18 @@ type Result struct {
 	// with Forensics attached, forensics.Score(Forensics, GroundTruth)
 	// yields the run's detection precision/recall.
 	GroundTruth *forensics.GroundTruth
+
+	// Sampled carries the estimation report of an interval-sampled run
+	// (Options.Sample): per-metric estimates with 95% confidence intervals,
+	// window counts and detail coverage. Nil for fully-timed runs.
+	Sampled *SampledRun
 }
+
+// SampledRun re-exports the sampling estimation report.
+type SampledRun = sim.SampledRun
+
+// Estimate re-exports the sampled-metric estimate (mean, CI95, coverage).
+type Estimate = stats.Estimate
 
 // MetricSummary implements runner.MetricSummarizer: headline per-run metrics
 // the sweep engine folds into its Report. Peak-suffixed entries merge by max
@@ -176,6 +199,12 @@ func (r *Result) MetricSummary() map[string]uint64 {
 		"detections":                    uint64(len(r.Detections)),
 		"contended":                     uint64(len(r.Contended)),
 		"cycles.max" + stats.PeakSuffix: r.Cycles,
+	}
+	if s := r.Sampled; s != nil {
+		m["sampled.cells"] = 1
+		m["sampled.windows"] = uint64(s.Windows)
+		m["sampled.accesses"] = s.Accesses
+		m["sampled.detailed"] = s.Detailed
 	}
 	if t := r.Obs.GetTracer(); t != nil {
 		m["trace.events"] = t.Total()
@@ -214,6 +243,30 @@ func validateMachine(opt Options) error {
 	}
 	if c := opt.Cores; c != 0 && (c < 1 || c > memsys.MaxCores || c&(c-1) != 0) {
 		return fmt.Errorf("unsupported core count %d (want a power of two up to %d)", c, memsys.MaxCores)
+	}
+	if opt.Sample != "" {
+		if _, err := sample.ParseSpec(opt.Sample); err != nil {
+			return err
+		}
+		// The warming fast path models exactly the default machine: in-order
+		// cores over a two-level inclusive hierarchy with no observers. Reject
+		// everything else up front with a useful message.
+		switch {
+		case opt.Engine != "" && opt.Engine != "skip":
+			return fmt.Errorf("-sample requires the skip engine, not %q", opt.Engine)
+		case opt.OOO:
+			return fmt.Errorf("-sample supports only the in-order core model")
+		case opt.Verify:
+			return fmt.Errorf("-sample is incompatible with -verify: warming commits bypass the golden-memory oracle")
+		case opt.Obs != nil:
+			return fmt.Errorf("-sample is incompatible with observability attachments: warming commits emit no events")
+		case opt.Forensics != nil:
+			return fmt.Errorf("-sample is incompatible with forensics recording: warming commits emit no events")
+		case opt.L2KB > 0:
+			return fmt.Errorf("-sample requires the two-level hierarchy (drop -l2kb)")
+		case opt.NonInclusiveLLC:
+			return fmt.Errorf("-sample requires the inclusive LLC (drop -noninclusive)")
+		}
 	}
 	return nil
 }
@@ -273,6 +326,13 @@ func buildConfig(opt Options) sim.Config {
 	cfg.Shards = opt.Shards
 	cfg.Obs = opt.Obs
 	cfg.Forensics = opt.Forensics
+	if opt.Sample != "" {
+		spec, err := sample.ParseSpec(opt.Sample)
+		if err != nil {
+			panic(fmt.Sprintf("fscoherence: %v", err))
+		}
+		cfg.Sample = spec
+	}
 	return cfg
 }
 
@@ -317,6 +377,7 @@ func Run(bench string, opt Options) (*Result, error) {
 		Obs:          opt.Obs,
 		Forensics:    opt.Forensics,
 		GroundTruth:  gt,
+		Sampled:      res.Sampled,
 	}
 	out.Energy = energy.Default().Compute(res.Stats, opt.Protocol != Baseline).Total()
 	out.Violations = append(out.Violations, res.OracleViolations...)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"fscoherence/internal/runner"
@@ -29,6 +31,10 @@ type Runner struct {
 	cores    int
 	topology string
 	shards   int
+	sample   string
+
+	mu      sync.Mutex
+	sampled []*Result
 }
 
 // cellKey identifies one simulation cell. Options contains only comparable
@@ -56,6 +62,43 @@ func (r *Runner) Workers() int { return r.eng.Workers() }
 // rerun entire tables under the naive reference loop; results are identical
 // either way (the engines are proven equivalent), only wall-clock differs.
 func (r *Runner) SetEngine(engine string) { r.engine = engine }
+
+// SetSample sets a default -sample interval spec ("detailed:warming" in
+// committed accesses) applied to submitted cells that do not specify one.
+// cmd/fsexp's -sample flag uses it to rerun entire tables under interval
+// sampling; cells that ran sampled register in SampledCells for the
+// estimate report. Cells whose options are incompatible with sampling
+// (OOO cores, private L2s, non-inclusive LLC, verification or observability
+// attachments) run fully timed instead, so mixed sweeps still complete.
+func (r *Runner) SetSample(spec string) { r.sample = spec }
+
+// sampleCompatible reports whether a cell may run under interval sampling
+// (mirrors validateMachine's -sample gating).
+func sampleCompatible(opt Options) bool {
+	return (opt.Engine == "" || opt.Engine == "skip") &&
+		!opt.OOO && !opt.Verify && opt.Obs == nil && opt.Forensics == nil &&
+		opt.L2KB == 0 && !opt.NonInclusiveLLC
+}
+
+// SampledCells returns every distinct cell that completed as an interval-
+// sampled run, in a deterministic order (benchmark, then protocol, then
+// variant). Call after Wait.
+func (r *Runner) SampledCells() []*Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Result, len(r.sampled))
+	copy(out, r.sampled)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		if out[i].Protocol != out[j].Protocol {
+			return out[i].Protocol < out[j].Protocol
+		}
+		return out[i].Variant < out[j].Variant
+	})
+	return out
+}
 
 // SetMachine sets default machine-shape fields (core count, interconnect
 // topology, parallel shard count) applied to submitted cells that do not
@@ -111,9 +154,18 @@ func (r *Runner) Submit(bench string, opt Options) *Future {
 	if opt.Shards == 0 {
 		opt.Shards = r.shards
 	}
+	if opt.Sample == "" && r.sample != "" && sampleCompatible(opt) {
+		opt.Sample = r.sample
+	}
 	key := cellKey{Bench: bench, Opt: opt}
 	h := r.eng.Do(key, func(uint64) (any, error) {
-		return Run(bench, opt)
+		res, err := Run(bench, opt)
+		if err == nil && res.Sampled != nil {
+			r.mu.Lock()
+			r.sampled = append(r.sampled, res)
+			r.mu.Unlock()
+		}
+		return res, err
 	})
 	return &Future{bench: bench, opt: opt, h: h}
 }
