@@ -21,6 +21,12 @@
 #   make samplecheck — the interval-sampling validation gate: sampled
 #                  estimates must land within tolerance of full reference
 #                  runs, and must be byte-identical across -j worker counts.
+#   make ckptcheck — the crash-resilience gate: kill a run mid-window, resume
+#                  from its checkpoint and demand byte-identical final
+#                  counters across {skip, parallel} x {flat, mesh}; corrupt /
+#                  version-skewed / wrong-identity checkpoints must degrade to
+#                  cold runs; campaign journals must resume; plus a real
+#                  SIGKILL-mid-run smoke test under -race.
 #   make sweep   — regenerate the paper's tables with the parallel engine.
 #   make fuzzsmoke — CI-sized protocol fuzzing: a fixed 60-seed corpus across
 #                  all three protocols under fault injection, plus the oracle
@@ -31,9 +37,9 @@ GO ?= go
 GOFMT ?= gofmt
 SEEDS ?= 200
 
-.PHONY: ci check fmt test race equiv allocsmoke samplecheck bench benchdiff sweep fuzz fuzzsmoke
+.PHONY: ci check fmt test race equiv allocsmoke samplecheck ckptcheck bench benchdiff sweep fuzz fuzzsmoke
 
-ci: check race equiv allocsmoke samplecheck fuzzsmoke benchdiff
+ci: check race equiv allocsmoke samplecheck ckptcheck fuzzsmoke benchdiff
 
 check: fmt test
 
@@ -71,6 +77,14 @@ allocsmoke:
 # estimates. EXPERIMENTS.md §"Sampled simulation".
 samplecheck:
 	$(GO) test -run 'TestSampledVsFull|TestSampledDeterministicAcrossWorkers' -count=1 .
+
+# Crash/resume byte-identity, corruption fallback, campaign-journal resume
+# (ckptcheck_test.go, journal_test.go, internal/checkpoint), then the
+# SIGKILL-a-real-process smoke test under the race detector.
+ckptcheck:
+	$(GO) test -run 'TestCheckpoint|TestCadence|TestCorrupt|TestMissingResume|TestWrongIdentity|TestWarmState|TestJournal|TestLoadJournal' -count=1 .
+	$(GO) test -count=1 ./internal/checkpoint/
+	$(GO) test -race -run 'TestKillResumeSmoke|TestSupervised|TestBackoffDeterministic|TestPrimeMemo' -count=1 . ./internal/runner/
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime=1x -run '^$$' ./... | $(GO) run ./cmd/benchjson -out BENCH_6.json

@@ -44,11 +44,11 @@ type diffRegression struct {
 }
 
 func runDiff(newPath, prevPath string, thresholdPct float64) int {
-	newSnap, err := readSnapshot(newPath)
+	newSnap, err := readSnapshot(newPath, "current")
 	if err != nil {
 		fatal(err)
 	}
-	prevSnap, err := readSnapshot(prevPath)
+	prevSnap, err := readSnapshot(prevPath, "baseline")
 	if err != nil {
 		fatal(err)
 	}
@@ -121,14 +121,34 @@ func runDiff(newPath, prevPath string, thresholdPct float64) int {
 	return 1
 }
 
-func readSnapshot(path string) (*Snapshot, error) {
+// readSnapshot loads one snapshot for -diff, turning the three common
+// failure modes — file missing, file unparseable, file empty — into errors
+// that say exactly how to fix them. role names the snapshot's side of the
+// comparison ("current" or "baseline") so the message points at the right
+// file.
+func readSnapshot(path, role string) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%s snapshot %s does not exist\n\n"+
+				"Capture it first:\n\n"+
+				"\tgo test -bench . -benchmem -benchtime=1x -run '^$' ./... | go run ./cmd/benchjson -out %s\n\n"+
+				"(`make bench` does this for the current snapshot; the baseline is the\n"+
+				"previous BENCH_*.json checked into the repo root.)", role, path, path)
+		}
+		return nil, fmt.Errorf("%s snapshot %s unreadable: %w", role, path, err)
 	}
 	var s Snapshot
 	if err := json.Unmarshal(data, &s); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s snapshot %s is not a benchjson snapshot: %v\n\n"+
+			"The file must be benchjson's JSON output, not raw `go test -bench` text;\n"+
+			"regenerate it with:\n\n"+
+			"\tgo test -bench . -benchmem -benchtime=1x -run '^$' ./... | go run ./cmd/benchjson -out %s",
+			role, path, err, path)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s snapshot %s parses but contains no benchmarks; "+
+			"regenerate it with `make bench` (a truncated or hand-edited file?)", role, path)
 	}
 	return &s, nil
 }

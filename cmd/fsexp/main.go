@@ -19,6 +19,16 @@
 //	fsexp -all -v         # per-cell timing on stderr
 //	fsexp -engine naive   # cycle-stepped reference engine (byte-identical)
 //	fsexp -cpuprofile cpu.out -memprofile mem.out  # pprof the sweep
+//
+// Crash resilience: -journal records every completed cell to a JSONL
+// campaign journal; -resume primes them back so an interrupted sweep only
+// reruns unfinished work. -timeout/-retries/-backoff supervise each cell (a
+// hung or panicking configuration is retried, then recorded as failed
+// without killing the campaign), and -checkpoint-dir gives compatible cells
+// a warm-state cache to resume mid-run:
+//
+//	fsexp -all -journal camp.jsonl -resume camp.jsonl -checkpoint-dir .ckpt \
+//	      -timeout 10m -retries 2 -backoff 2s
 package main
 
 import (
@@ -61,6 +71,13 @@ func main() {
 		trBench  = flag.String("trace-bench", "LR", "benchmark for the instrumented cell")
 		trProto  = flag.String("trace-protocol", "fslite", "protocol for the instrumented cell")
 		sampled  = flag.String("sample", "", "interval sampling spec detailed:warming in committed accesses (e.g. 50k:950k); timing metrics become estimates with 95% CIs")
+		journal  = flag.String("journal", "", "append one JSONL record per completed/failed cell to this campaign journal")
+		resume   = flag.String("resume", "", "prime completed cells from this campaign journal (usually the same file as -journal) so only unfinished work reruns")
+		timeout  = flag.Duration("timeout", 0, "per-attempt wall-clock watchdog for each cell (0 = none)")
+		retries  = flag.Int("retries", 0, "additional attempts after a cell fails, panics or times out")
+		backoff  = flag.Duration("backoff", 0, "base retry delay, doubled per attempt with deterministic jitter")
+		ckptDir  = flag.String("checkpoint-dir", "", "warm-state cache directory: compatible cells checkpoint into it and auto-resume after a crash")
+		ckptN    = flag.String("checkpoint-every", "", "checkpoint cadence in committed L1D accesses for -checkpoint-dir (e.g. 1m; default 1m)")
 	)
 	prof := profiling.AddFlags()
 	flag.Parse()
@@ -117,6 +134,44 @@ func main() {
 	eng.SetEngine(*engine)
 	eng.SetMachine(*cores, *topology, *shards)
 	eng.SetSample(*sampled)
+	if *timeout > 0 || *retries > 0 || *backoff > 0 {
+		eng.SetSupervision(*timeout, *retries, *backoff)
+	}
+	if *ckptDir != "" {
+		var every uint64
+		if *ckptN != "" {
+			n, err := sample.ParseCount(*ckptN)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fsexp: -checkpoint-every:", err)
+				os.Exit(1)
+			}
+			every = n
+		}
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "fsexp:", err)
+			os.Exit(1)
+		}
+		eng.SetCheckpointDir(*ckptDir, every)
+	}
+	// Resume before attaching the journal: priming reads the prior campaign's
+	// records, then new records append to the same file.
+	if *resume != "" {
+		primed, err := eng.ResumeJournal(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[resume: %d completed cell(s) primed from %s]\n", primed, *resume)
+	}
+	if *journal != "" {
+		j, err := fscoherence.OpenJournal(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsexp:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		eng.SetJournal(j)
+	}
 	if *progress != "" {
 		w := os.Stderr
 		if *progress != "-" {
@@ -188,8 +243,12 @@ func main() {
 	eng.Wait()
 	printSampledCells(eng)
 	rep := eng.Report()
-	fmt.Fprintf(os.Stderr, "[sweep: %d cells simulated, %d served from cache, sim time %v, wall %v, -j %d]\n",
-		rep.Executed, rep.MemoHits, rep.TaskTime.Round(time.Millisecond),
+	primed := ""
+	if rep.Primed > 0 {
+		primed = fmt.Sprintf(", %d primed from journal", rep.Primed)
+	}
+	fmt.Fprintf(os.Stderr, "[sweep: %d cells simulated, %d served from cache%s, sim time %v, wall %v, -j %d]\n",
+		rep.Executed, rep.MemoHits, primed, rep.TaskTime.Round(time.Millisecond),
 		time.Since(sweepStart).Round(time.Millisecond), eng.Workers())
 	if m := rep.Metrics; len(m) > 0 {
 		fmt.Fprintf(os.Stderr, "[sweep metrics: %d runs, %d total cycles (max cell %d), %d detections, %d contended lines]\n",

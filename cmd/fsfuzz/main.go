@@ -11,6 +11,9 @@
 //	fsfuzz -replay repro.json         # re-execute a shrunk repro file
 //	fsfuzz -replay repro.json -trace t.json   # ... with a Perfetto trace
 //	fsfuzz -selfcheck                 # verify the oracles catch seeded bugs
+//	fsfuzz -seeds 200 -progress fuzz.jsonl -resume fuzz.jsonl
+//	                                  # crash-resilient campaign: rerun after an
+//	                                  # interruption skips already-passed cases
 //
 // Every failure is shrunk to a minimal repro and written to -out as a JSON
 // program file; the printed command line replays it. Exit status: 0 clean,
@@ -18,6 +21,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +47,7 @@ func main() {
 		budget   = flag.Int("shrink", 0, "shrinker execution budget per failure (0 = default)")
 		traceOut = flag.String("trace", "", "replay only: write Chrome trace-event JSON (open in Perfetto)")
 		progress = flag.String("progress", "", "stream JSONL progress records (one per case) to this file; - for stderr")
+		resume   = flag.String("resume", "", "skip cases a prior campaign's -progress log records as passed (failed cases rerun); usually the same file as -progress")
 	)
 	flag.Parse()
 
@@ -52,8 +58,37 @@ func main() {
 	case *self:
 		os.Exit(selfcheck(opt, *budget))
 	default:
-		os.Exit(campaign(*seeds, *start, *seed, *protocol, *out, *jobs, *budget, *progress, opt))
+		os.Exit(campaign(*seeds, *start, *seed, *protocol, *out, *jobs, *budget, *progress, *resume, opt))
 	}
+}
+
+// loadCompleted reads a prior campaign's -progress JSONL log and returns the
+// set of (seed, protocol) cases that completed without failure. Failed cases
+// are NOT included — the crash may have preceded their shrunk repro, so they
+// rerun. Torn or foreign lines (the record being written when the campaign
+// died) are skipped.
+func loadCompleted(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil // no prior campaign: resume from nothing
+		}
+		return nil, err
+	}
+	defer f.Close()
+	done := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var rec fuzz.CaseRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Protocol == "" {
+			continue
+		}
+		if rec.Failure == "" {
+			done[fmt.Sprintf("%d/%s", rec.Seed, rec.Protocol)] = true
+		}
+	}
+	return done, sc.Err()
 }
 
 // protocols resolves the -protocol flag to a sweep list.
@@ -69,7 +104,7 @@ func protocols(flag string) ([]string, error) {
 	return nil, fmt.Errorf("unknown protocol %q (want all, baseline, fsdetect or fslite)", flag)
 }
 
-func campaign(seeds int, start, one uint64, protoFlag, out string, jobs, budget int, progress string, opt fuzz.Options) int {
+func campaign(seeds int, start, one uint64, protoFlag, out string, jobs, budget int, progress, resume string, opt fuzz.Options) int {
 	protos, err := protocols(protoFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsfuzz:", err)
@@ -78,11 +113,25 @@ func campaign(seeds int, start, one uint64, protoFlag, out string, jobs, budget 
 	if one != 0 {
 		start, seeds = one, 1
 	}
+	var completed map[string]bool
+	if resume != "" {
+		completed, err = loadCompleted(resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsfuzz:", err)
+			return 2
+		}
+	}
 	var stream *os.File
 	if progress == "-" {
 		stream = os.Stderr
 	} else if progress != "" {
-		stream, err = os.Create(progress)
+		if progress == resume {
+			// Resuming into the same log: append, so the records just loaded
+			// survive for the next resume.
+			stream, err = os.OpenFile(progress, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		} else {
+			stream, err = os.Create(progress)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fsfuzz:", err)
 			return 2
@@ -96,6 +145,11 @@ func campaign(seeds int, start, one uint64, protoFlag, out string, jobs, budget 
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
+	}
+	if len(completed) > 0 {
+		cfg.Skip = func(seed uint64, protocol string) bool {
+			return completed[fmt.Sprintf("%d/%s", seed, protocol)]
+		}
 	}
 	if stream != nil {
 		cfg.Stream = stream

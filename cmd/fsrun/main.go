@@ -20,6 +20,8 @@
 //	fsrun -bench RC -engine naive               # cycle-stepped reference
 //	fsrun -bench RC -cpuprofile cpu.out         # pprof the run
 //	fsrun -bench RC -compare -counters          # line-comparable counter dump
+//	fsrun -bench RC -checkpoint run.ckpt -checkpoint-every 500k  # crash-resilient run
+//	fsrun -bench RC -resume run.ckpt -checkpoint-every 500k      # continue after a crash
 //	fsrun -list
 //	fsrun -counter-table
 package main
@@ -35,6 +37,7 @@ import (
 	"fscoherence"
 	"fscoherence/internal/obs"
 	"fscoherence/internal/profiling"
+	"fscoherence/internal/sample"
 	"fscoherence/internal/stats"
 )
 
@@ -60,6 +63,9 @@ func main() {
 		topology = flag.String("topology", "", "interconnect: flat (default) | ring | mesh")
 		shards   = flag.Int("shards", 0, "parallel engine worker count (0 = one per 8 cores)")
 		sampled  = flag.String("sample", "", "interval sampling spec detailed:warming in committed accesses (e.g. 50k:950k); timing metrics become estimates with 95% CIs")
+		ckpt     = flag.String("checkpoint", "", "write periodic checkpoints to this file (atomic; each boundary's write replaces the last)")
+		ckptN    = flag.String("checkpoint-every", "", "checkpoint cadence in committed L1D accesses (e.g. 1m, 500k; default 1m when checkpointing)")
+		resume   = flag.String("resume", "", "resume from this checkpoint file; corrupt or mismatched files fall back to a cold run with a warning")
 	)
 	prof := profiling.AddFlags()
 	flag.Parse()
@@ -104,6 +110,22 @@ func main() {
 	}
 	o := buildObs(*traceOut, *metrics, *filter)
 
+	var ctl fscoherence.RunControl
+	if *ckpt != "" || *ckptN != "" || *resume != "" {
+		if *compare {
+			fatal(fmt.Errorf("-checkpoint/-resume apply to a single run; drop -compare"))
+		}
+		ctl.CheckpointPath = *ckpt
+		ctl.Resume = *resume
+		if *ckptN != "" {
+			every, err := sample.ParseCount(*ckptN)
+			if err != nil {
+				fatal(fmt.Errorf("-checkpoint-every: %w", err))
+			}
+			ctl.CheckpointEvery = every
+		}
+	}
+
 	if *compare {
 		// The three protocol runs are independent cells: fan them out. The
 		// observability attachment goes to the cell -protocol/-mode selects.
@@ -138,7 +160,7 @@ func main() {
 	}
 
 	r := run(*bench, fscoherence.Options{Protocol: p, Variant: v, Scale: *scale, Verify: *verify, Engine: *engine,
-		Cores: *cores, Topology: *topology, Shards: *shards, Obs: o, Sample: *sampled})
+		Cores: *cores, Topology: *topology, Shards: *shards, Obs: o, Sample: *sampled}, ctl)
 	writeObs(o, *traceOut, *metrics)
 	fmt.Printf("benchmark %s under %v (%s layout)\n", *bench, p, v)
 	if s := r.Sampled; s != nil {
@@ -256,10 +278,13 @@ func writeObs(o *obs.Obs, traceOut, metricsOut string) {
 	}
 }
 
-func run(bench string, opt fscoherence.Options) *fscoherence.Result {
-	r, err := fscoherence.Run(bench, opt)
+func run(bench string, opt fscoherence.Options, ctl fscoherence.RunControl) *fscoherence.Result {
+	r, err := fscoherence.RunControlled(bench, opt, ctl)
 	if err != nil {
 		fatal(err)
+	}
+	for _, w := range r.Warnings {
+		fmt.Fprintln(os.Stderr, "fsrun: warning:", w)
 	}
 	return checked(r)
 }

@@ -1,0 +1,152 @@
+// Package checkpoint frames machine-state snapshots for crash-safe
+// persistence. It owns the on-disk envelope only — callers hand it an opaque
+// payload (in practice a gob-encoded sim.MachineState) plus an identity hash
+// of the configuration that produced it; the package guarantees
+//
+//   - atomicity: a checkpoint file is either the complete previous snapshot
+//     or the complete new one, never a torn mix (temp file + fsync + rename),
+//   - integrity: a CRC over the payload rejects bit rot and truncation,
+//   - versioning: a format version rejects snapshots from incompatible
+//     builds, and
+//   - identity: the configuration hash rejects snapshots from a different
+//     (benchmark, options, cadence) cell.
+//
+// All rejection paths return typed errors (ErrCorrupt, ErrVersion,
+// ErrIdentity) so callers can degrade to a cold run with a warning instead
+// of panicking.
+//
+// Envelope layout (little-endian):
+//
+//	offset size  field
+//	0      8     magic "FSCKPT\r\n"
+//	8      4     format version (uint32)
+//	12     8     identity hash  (uint64)
+//	20     8     payload length (uint64)
+//	28     4     CRC-32 (IEEE) of the payload
+//	32     n     payload
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Version is the current checkpoint format version. Bump it whenever the
+// payload encoding (the gob'd machine state) changes incompatibly; old files
+// are then rejected with ErrVersion and the caller re-runs cold.
+const Version uint32 = 1
+
+const (
+	headerSize = 32
+	magic      = "FSCKPT\r\n" // \r\n catches ASCII-mode transfer mangling
+)
+
+var (
+	// ErrCorrupt reports a truncated, bit-flipped or non-checkpoint file.
+	ErrCorrupt = errors.New("checkpoint: corrupt or truncated file")
+	// ErrVersion reports a checkpoint from an incompatible format version.
+	ErrVersion = errors.New("checkpoint: incompatible format version")
+	// ErrIdentity reports a checkpoint written by a different configuration
+	// (benchmark, options or checkpoint cadence).
+	ErrIdentity = errors.New("checkpoint: configuration identity mismatch")
+)
+
+// Write atomically persists payload to path: the envelope is assembled in a
+// temp file in the same directory, fsync'd, and renamed over path. A crash at
+// any point leaves either the old file or the new one.
+func Write(path string, identity uint64, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+
+	hdr := make([]byte, headerSize)
+	copy(hdr[0:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	binary.LittleEndian.PutUint64(hdr[12:20], identity)
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[28:32], crc32.ChecksumIEEE(payload))
+
+	if _, err := tmp.Write(hdr); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Read loads and validates a checkpoint written by Write, returning its
+// payload. identity must match the hash the file was written with; pass the
+// hash of the resuming configuration so a checkpoint from a different cell is
+// rejected (ErrIdentity) instead of silently restoring the wrong machine.
+func Read(path string, identity uint64) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return Decode(data, identity)
+}
+
+// Decode validates an in-memory envelope (see Read).
+func Decode(data []byte, identity uint64) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorrupt, len(data), headerSize)
+	}
+	if string(data[0:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads version %d", ErrVersion, v, Version)
+	}
+	if id := binary.LittleEndian.Uint64(data[12:20]); id != identity {
+		return nil, fmt.Errorf("%w: file %#x, want %#x", ErrIdentity, id, identity)
+	}
+	n := binary.LittleEndian.Uint64(data[20:28])
+	if uint64(len(data)-headerSize) != n {
+		return nil, fmt.Errorf("%w: payload %d bytes, header declares %d", ErrCorrupt, len(data)-headerSize, n)
+	}
+	payload := data[headerSize:]
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(data[28:32]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// ReadIdentity returns the identity hash stored in a checkpoint file without
+// validating the payload (used to key warm-state cache lookups).
+func ReadIdentity(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if string(hdr[0:8]) != magic {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	return binary.LittleEndian.Uint64(hdr[12:20]), nil
+}

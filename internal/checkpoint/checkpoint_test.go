@@ -1,0 +1,175 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const (
+	goldenIdentity = 0xfeedface12345678
+	goldenPath     = "testdata/golden.ckpt"
+)
+
+var goldenPayload = []byte("fscoherence golden checkpoint payload, format v1\n")
+
+// TestGoldenCheckpoint pins the on-disk envelope format: the checked-in
+// golden file must keep decoding byte-for-byte with the current reader. If
+// this fails after an intentional format change, bump Version and regenerate
+// the golden (see checkpoint_golden_gen_test.go) — old files must then be
+// rejected with ErrVersion, never misread.
+func TestGoldenCheckpoint(t *testing.T) {
+	payload, err := Read(goldenPath, goldenIdentity)
+	if err != nil {
+		t.Fatalf("Read(golden): %v", err)
+	}
+	if !bytes.Equal(payload, goldenPayload) {
+		t.Fatalf("golden payload mismatch:\n got %q\nwant %q", payload, goldenPayload)
+	}
+}
+
+// TestGoldenBytesStable verifies Write reproduces the golden file exactly:
+// the envelope has no nondeterministic fields, so checkpoint files are
+// byte-reproducible.
+func TestGoldenBytesStable(t *testing.T) {
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	p := filepath.Join(t.TempDir(), "re.ckpt")
+	if err := Write(p, goldenIdentity, goldenPayload); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("read rewritten: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("rewritten envelope differs from golden (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "x.ckpt")
+	payload := bytes.Repeat([]byte{0xab, 0xcd, 0x00, 0x7f}, 1000)
+	if err := Write(p, 42, payload); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(p, 42)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch after round trip")
+	}
+	if id, err := ReadIdentity(p); err != nil || id != 42 {
+		t.Fatalf("ReadIdentity = %d, %v; want 42, nil", id, err)
+	}
+}
+
+// TestVersionBumpRejected simulates a checkpoint from a future build: the
+// version field is bumped and the error must be ErrVersion (so the caller
+// warns and runs cold, rather than misinterpreting the payload).
+func TestVersionBumpRejected(t *testing.T) {
+	env := goldenEnvelope(t)
+	binary.LittleEndian.PutUint32(env[8:12], Version+1)
+	_, err := Decode(env, goldenIdentity)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("version-bumped file: got %v, want ErrVersion", err)
+	}
+}
+
+// TestTruncationRejected covers every truncation point: mid-header,
+// header-only, and mid-payload. All must be ErrCorrupt.
+func TestTruncationRejected(t *testing.T) {
+	env := goldenEnvelope(t)
+	for _, n := range []int{0, 1, headerSize - 1, headerSize, len(env) - 1} {
+		if _, err := Decode(env[:n], goldenIdentity); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncated to %d bytes: got %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestBitFlipRejected flips one bit in every byte position in turn; each
+// mutation must be rejected (the identity-field positions yield ErrIdentity,
+// the version field ErrVersion, everything else ErrCorrupt — never success).
+func TestBitFlipRejected(t *testing.T) {
+	env := goldenEnvelope(t)
+	for i := range env {
+		mut := append([]byte(nil), env...)
+		mut[i] ^= 0x40
+		_, err := Decode(mut, goldenIdentity)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+		switch {
+		case i >= 8 && i < 12:
+			if !errors.Is(err, ErrVersion) {
+				t.Errorf("flip in version field (byte %d): got %v, want ErrVersion", i, err)
+			}
+		case i >= 12 && i < 20:
+			if !errors.Is(err, ErrIdentity) {
+				t.Errorf("flip in identity field (byte %d): got %v, want ErrIdentity", i, err)
+			}
+		default:
+			if !errors.Is(err, ErrCorrupt) {
+				t.Errorf("flip at byte %d: got %v, want ErrCorrupt", i, err)
+			}
+		}
+	}
+}
+
+func TestIdentityMismatchRejected(t *testing.T) {
+	env := goldenEnvelope(t)
+	_, err := Decode(env, goldenIdentity+1)
+	if !errors.Is(err, ErrIdentity) {
+		t.Fatalf("wrong identity: got %v, want ErrIdentity", err)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "nope.ckpt"), 0); err == nil {
+		t.Fatal("Read of missing file succeeded")
+	}
+}
+
+// TestWriteReplacesAtomically overwrites an existing checkpoint and verifies
+// the old content is fully replaced (rename semantics) and no temp files
+// linger.
+func TestWriteReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "x.ckpt")
+	if err := Write(p, 7, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(p, 7, []byte("new and longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new and longer" {
+		t.Fatalf("payload = %q after overwrite", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("%d directory entries after two writes (temp file leaked?)", len(ents))
+	}
+}
+
+// goldenEnvelope loads the raw golden file bytes for mutation tests.
+func goldenEnvelope(t *testing.T) []byte {
+	t.Helper()
+	env, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	return env
+}

@@ -1,0 +1,23 @@
+package checkpoint
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRegenerateGolden rewrites testdata/golden.ckpt when
+// FSCKPT_REGEN_GOLDEN=1 is set. Run it after an intentional format change
+// (and bump Version first):
+//
+//	FSCKPT_REGEN_GOLDEN=1 go test -run TestRegenerateGolden ./internal/checkpoint/
+func TestRegenerateGolden(t *testing.T) {
+	if os.Getenv("FSCKPT_REGEN_GOLDEN") == "" {
+		t.Skip("set FSCKPT_REGEN_GOLDEN=1 to rewrite the golden checkpoint")
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(goldenPath, goldenIdentity, goldenPayload); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package coherence
+
+import (
+	"fmt"
+
+	"fscoherence/internal/memsys"
+)
+
+// Checkpoint images for the coherence controllers. Snapshots are taken only
+// at drained boundaries (every core held, all in-flight transactions
+// retired), where the transient state — MSHRs, writeback buffers, scheduled
+// local hits, directory transactions, pending queues, retry/memory queues —
+// is empty by construction. Only the stable architectural state needs to
+// travel: cache lines with their coherence state, data and exact LRU
+// ordering. Idle() is asserted on both save and restore so a torn snapshot
+// can never be constructed silently.
+
+// cloneOrNil copies b, preserving nil-ness: line fields like base use nil
+// (not empty) to mean "absent", and the warming fast paths test for exactly
+// that, so a restore must not manufacture empty non-nil slices.
+func cloneOrNil(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// L1LineImage is the serializable payload of one L1 line.
+type L1LineImage struct {
+	State L1State
+	Dirty bool
+	Data  []byte
+	Base  []byte // PRV-entry block snapshot (nil outside PRV)
+}
+
+// L1Image is the serializable state of one L1 controller.
+type L1Image struct {
+	Now   uint64
+	Cache memsys.AssocImage[L1LineImage]
+}
+
+// Snapshot captures the L1's stable state. The controller must be idle and
+// must not have a private L2 (checkpointing is gated to the two-level
+// inclusive hierarchy).
+func (l *L1) Snapshot() (L1Image, error) {
+	if !l.Idle() {
+		return L1Image{}, fmt.Errorf("coherence: snapshot of busy L1 %d (%d mshrs, %d wb, %d local)", l.core, len(l.mshrs), len(l.wb), len(l.local))
+	}
+	if l.l2 != nil {
+		return L1Image{}, fmt.Errorf("coherence: snapshot with private L2 unsupported (core %d)", l.core)
+	}
+	return L1Image{
+		Now: l.now,
+		Cache: memsys.SaveAssoc(l.cache, func(v *l1Line) L1LineImage {
+			return L1LineImage{State: v.state, Dirty: v.dirty, Data: cloneOrNil(v.data), Base: cloneOrNil(v.base)}
+		}),
+	}, nil
+}
+
+// Restore rebuilds the L1's stable state on a freshly constructed idle
+// controller.
+func (l *L1) Restore(img L1Image) error {
+	if !l.Idle() {
+		return fmt.Errorf("coherence: restore into busy L1 %d", l.core)
+	}
+	if l.l2 != nil {
+		return fmt.Errorf("coherence: restore with private L2 unsupported (core %d)", l.core)
+	}
+	l.now = img.Now
+	return memsys.LoadAssoc(l.cache, img.Cache, func(s L1LineImage) l1Line {
+		return l1Line{state: s.State, dirty: s.Dirty, data: cloneOrNil(s.Data), base: cloneOrNil(s.Base)}
+	})
+}
+
+// DirLineImage is the serializable payload of one directory/LLC line.
+type DirLineImage struct {
+	State    DirState
+	Owner    int
+	Dirty    bool
+	HasData  bool
+	Sharers  memsys.CoreSet
+	PrvSince uint64
+	Data     []byte
+}
+
+// DirImage is the serializable state of one LLC slice.
+type DirImage struct {
+	Now uint64
+	LLC memsys.AssocImage[DirLineImage]
+}
+
+// Snapshot captures the slice's stable state. The slice must be idle (no
+// transactions, queues or pending fills) and inclusive (no sparse data
+// directory).
+func (d *Dir) Snapshot() (DirImage, error) {
+	if !d.Idle() {
+		return DirImage{}, fmt.Errorf("coherence: snapshot of busy directory slice %d: %s", d.slice, d.DebugString())
+	}
+	if d.dataDir != nil {
+		return DirImage{}, fmt.Errorf("coherence: snapshot of non-inclusive LLC unsupported (slice %d)", d.slice)
+	}
+	return DirImage{
+		Now: d.now,
+		LLC: memsys.SaveAssoc(d.llc, func(v *dirLine) DirLineImage {
+			return DirLineImage{
+				State:    v.state,
+				Owner:    v.owner,
+				Dirty:    v.dirty,
+				HasData:  v.hasData,
+				Sharers:  v.sharers,
+				PrvSince: v.prvSince,
+				Data:     cloneOrNil(v.data),
+			}
+		}),
+	}, nil
+}
+
+// Restore rebuilds the slice's stable state on a freshly constructed idle
+// slice.
+func (d *Dir) Restore(img DirImage) error {
+	if !d.Idle() {
+		return fmt.Errorf("coherence: restore into busy directory slice %d", d.slice)
+	}
+	if d.dataDir != nil {
+		return fmt.Errorf("coherence: restore of non-inclusive LLC unsupported (slice %d)", d.slice)
+	}
+	d.now = img.Now
+	return memsys.LoadAssoc(d.llc, img.LLC, func(s DirLineImage) dirLine {
+		return dirLine{
+			dirHot: dirHot{
+				state:    s.State,
+				owner:    s.Owner,
+				dirty:    s.Dirty,
+				hasData:  s.HasData,
+				sharers:  s.Sharers,
+				prvSince: s.PrvSince,
+			},
+			data: cloneOrNil(s.Data),
+		}
+	})
+}

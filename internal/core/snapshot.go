@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fscoherence/internal/memsys"
+)
+
+// Checkpoint images for the FSDetect/FSLite metadata: the per-core PAM
+// tables and the per-slice DirSide policy (FC/IC/PMMC/HC counters, the SAM
+// table with its victim buffer and pending forced terminations, and the
+// accumulated detection reports). All maps are flattened to address-sorted
+// slices so identical states serialize to identical bytes. Declared
+// reduction regions are not serialized: they are re-registered from the
+// workload when the machine is reconstructed.
+
+// PAMEntryImage is one live PAM entry.
+type PAMEntryImage struct {
+	Addr   memsys.Addr
+	Read   uint64
+	Write  uint64
+	SendMD bool
+}
+
+// Snapshot captures the PAM table, sorted by block address.
+func (p *PAM) Snapshot() []PAMEntryImage {
+	out := make([]PAMEntryImage, 0, len(p.entries))
+	for a, e := range p.entries {
+		out = append(out, PAMEntryImage{Addr: a, Read: e.read, Write: e.write, SendMD: e.sendMD})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Restore replaces the PAM table's contents. The MRU shortcut starts empty
+// (it repopulates lazily with identical behavior).
+func (p *PAM) Restore(img []PAMEntryImage) {
+	p.entries = make(map[memsys.Addr]*pamEntry, len(img))
+	p.mruBlks = [8]memsys.Addr{}
+	p.mruEnts = [8]*pamEntry{}
+	for _, e := range img {
+		p.entries[e.Addr] = &pamEntry{read: e.Read, write: e.Write, sendMD: e.SendMD}
+	}
+}
+
+// SamEntryImage is the serializable form of one SAM entry (table or victim
+// buffer). Slice shapes follow the ReaderOpt configuration exactly as the
+// live entry's do.
+type SamEntryImage struct {
+	TS         bool
+	LastWriter []int16
+	Readers    []memsys.CoreSet
+	LastReader []int16
+	Overflow   []bool
+	RedWriters []memsys.CoreSet
+}
+
+func samEntryImage(e *samEntry) SamEntryImage {
+	return SamEntryImage{
+		TS:         e.ts,
+		LastWriter: append([]int16(nil), e.lastWriter...),
+		Readers:    append([]memsys.CoreSet(nil), e.readers...),
+		LastReader: append([]int16(nil), e.lastReader...),
+		Overflow:   append([]bool(nil), e.overflow...),
+		RedWriters: append([]memsys.CoreSet(nil), e.redWriters...),
+	}
+}
+
+func samEntryFromImage(img SamEntryImage) *samEntry {
+	return &samEntry{
+		ts:         img.TS,
+		lastWriter: append([]int16(nil), img.LastWriter...),
+		readers:    append([]memsys.CoreSet(nil), img.Readers...),
+		lastReader: append([]int16(nil), img.LastReader...),
+		overflow:   append([]bool(nil), img.Overflow...),
+		redWriters: append([]memsys.CoreSet(nil), img.RedWriters...),
+	}
+}
+
+// SamVictimImage is one displaced-but-terminating victim-buffer entry.
+type SamVictimImage struct {
+	Addr  memsys.Addr
+	Entry SamEntryImage
+}
+
+// SAMImage is the serializable state of one slice's SAM.
+type SAMImage struct {
+	Table      memsys.AssocImage[SamEntryImage]
+	Victims    []SamVictimImage
+	EvictedPrv []memsys.Addr
+}
+
+// MetaImage is one block's FC/IC/PMMC/HC record.
+type MetaImage struct {
+	Addr    memsys.Addr
+	FC      uint32
+	IC      uint32
+	PMMC    int
+	HC      uint8
+	Flagged bool
+	Prv     bool
+}
+
+// PolicyImage is the serializable state of one DirSide slice.
+type PolicyImage struct {
+	Meta       []MetaImage
+	Detections []Detection
+	Contended  []Detection
+	SAM        SAMImage
+}
+
+func detectionList(m map[memsys.Addr]*Detection) []Detection {
+	out := make([]Detection, 0, len(m))
+	for _, d := range m {
+		cp := *d
+		cp.Writers = append([]int(nil), d.Writers...)
+		cp.Readers = append([]int(nil), d.Readers...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+func detectionMap(l []Detection) map[memsys.Addr]*Detection {
+	m := make(map[memsys.Addr]*Detection, len(l))
+	for _, d := range l {
+		cp := d
+		cp.Writers = append([]int(nil), d.Writers...)
+		cp.Readers = append([]int(nil), d.Readers...)
+		m[d.Addr] = &cp
+	}
+	return m
+}
+
+// Snapshot captures the slice's complete policy state.
+func (d *DirSide) Snapshot() PolicyImage {
+	img := PolicyImage{
+		Detections: detectionList(d.detections),
+		Contended:  detectionList(d.contended),
+	}
+	for a, m := range d.meta {
+		img.Meta = append(img.Meta, MetaImage{Addr: a, FC: m.fc, IC: m.ic, PMMC: m.pmmc, HC: m.hc, Flagged: m.flagged, Prv: m.prv})
+	}
+	sort.Slice(img.Meta, func(i, j int) bool { return img.Meta[i].Addr < img.Meta[j].Addr })
+
+	s := d.sam
+	img.SAM.Table = memsys.SaveAssoc(s.table, func(v **samEntry) SamEntryImage {
+		return samEntryImage(*v)
+	})
+	for a, e := range s.victims {
+		img.SAM.Victims = append(img.SAM.Victims, SamVictimImage{Addr: a, Entry: samEntryImage(e)})
+	}
+	sort.Slice(img.SAM.Victims, func(i, j int) bool { return img.SAM.Victims[i].Addr < img.SAM.Victims[j].Addr })
+	img.SAM.EvictedPrv = append([]memsys.Addr(nil), s.evictedPrv...)
+	return img
+}
+
+// Restore replaces the slice's policy state. The isPrv closure wired at
+// construction keeps pointing at the (replaced) meta map through the
+// receiver, so it needs no re-wiring.
+func (d *DirSide) Restore(img PolicyImage) error {
+	d.meta = make(map[memsys.Addr]*dirMeta, len(img.Meta))
+	for _, m := range img.Meta {
+		d.meta[m.Addr] = &dirMeta{fc: m.FC, ic: m.IC, pmmc: m.PMMC, hc: m.HC, flagged: m.Flagged, prv: m.Prv}
+	}
+	d.detections = detectionMap(img.Detections)
+	d.contended = detectionMap(img.Contended)
+
+	s := d.sam
+	if err := memsys.LoadAssoc(s.table, img.SAM.Table, samEntryFromImage); err != nil {
+		return fmt.Errorf("core: SAM restore (slice %d): %w", d.slice, err)
+	}
+	s.victims = make(map[memsys.Addr]*samEntry, len(img.SAM.Victims))
+	for _, v := range img.SAM.Victims {
+		s.victims[v.Addr] = samEntryFromImage(v.Entry)
+	}
+	s.evictedPrv = append([]memsys.Addr(nil), img.SAM.EvictedPrv...)
+	return nil
+}

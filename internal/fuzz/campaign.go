@@ -40,6 +40,12 @@ type CampaignConfig struct {
 	// stream is telemetry, the returned CampaignResult is the record of
 	// truth). Write errors are dropped.
 	Stream io.Writer
+
+	// Skip, when non-nil, filters the task list before execution: cases it
+	// reports true for are not run (or counted). Campaign resume uses it to
+	// drop (seed, protocol) cases a prior interrupted campaign already
+	// completed cleanly.
+	Skip func(seed uint64, protocol string) bool
 }
 
 // CaseRecord is one line of the campaign's JSONL progress stream.
@@ -93,10 +99,19 @@ func Campaign(cfg CampaignConfig) *CampaignResult {
 		proto string
 	}
 	var tasks []task
+	skipped := 0
 	for i := 0; i < cfg.Seeds; i++ {
 		for _, pr := range protos {
-			tasks = append(tasks, task{cfg.StartSeed + uint64(i), pr})
+			seed := cfg.StartSeed + uint64(i)
+			if cfg.Skip != nil && cfg.Skip(seed, pr) {
+				skipped++
+				continue
+			}
+			tasks = append(tasks, task{seed, pr})
 		}
+	}
+	if skipped > 0 && cfg.Log != nil {
+		cfg.Log("resume: %d completed case(s) skipped", skipped)
 	}
 
 	jobs := cfg.Jobs

@@ -49,6 +49,10 @@ type Cell struct {
 	Key      any
 	Duration time.Duration
 	Err      error
+
+	// Attempts is the number of supervised attempts the cell consumed
+	// (DoSupervised); 0 for unsupervised tasks.
+	Attempts int
 }
 
 // Report summarizes an engine's work so far.
@@ -59,6 +63,10 @@ type Report struct {
 	Executed  int
 	MemoHits  int
 	Errors    int
+
+	// Primed counts cells preloaded into the memo from a prior campaign's
+	// journal (Engine.Prime): submitted hits against them count as MemoHits.
+	Primed int
 
 	// TaskTime is the summed wall-clock of executed tasks — with W workers
 	// the elapsed time approaches TaskTime / W.
@@ -81,6 +89,7 @@ type Engine struct {
 	hits      int
 	executed  int
 	errors    int
+	primed    int
 	taskTime  time.Duration
 	metrics   *stats.Set
 
@@ -91,17 +100,20 @@ type Engine struct {
 	stream      io.Writer
 	streamStart time.Time
 	streamSeq   int
+	sup         Supervision
+	attemptHook func(key any, attempt int, err error, backoff time.Duration)
 }
 
 // entry is one unique task. val, err and dur are written by exactly one
 // goroutine before done is closed; readers go through Handle.Wait, so the
 // channel close is the only synchronization needed.
 type entry struct {
-	key  any
-	done chan struct{}
-	val  any
-	err  error
-	dur  time.Duration
+	key      any
+	done     chan struct{}
+	val      any
+	err      error
+	dur      time.Duration
+	attempts int
 }
 
 // Handle is a future for a submitted task.
@@ -158,6 +170,24 @@ func Seed(key any) uint64 {
 	return h.Sum64()
 }
 
+// Prime preloads a finished result into the memo cache, as if the task for
+// key had already executed: later Do calls for the same key are served from
+// the memo without running. Campaign resume uses it to re-seed an engine
+// from a journal of completed cells. Returns false (and does nothing) if the
+// key is already present.
+func (e *Engine) Prime(key any, val any) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.entries[key]; ok {
+		return false
+	}
+	ent := &entry{key: key, done: make(chan struct{}), val: val}
+	close(ent.done)
+	e.entries[key] = ent
+	e.primed++
+	return true
+}
+
 // Do submits the task for key, returning a future. If the key was already
 // submitted (finished or in flight) the existing cell is returned and fn is
 // never called — results are memoized for the engine's lifetime. Keys must
@@ -196,11 +226,16 @@ func (e *Engine) run(ent *entry, fn Task) {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				ent.err = fmt.Errorf("runner: task %v panicked: %v\n%s", ent.key, r, debug.Stack())
+				// The failing cell's key and seed make the report directly
+				// reproducible: `fsrun` the key's options with this seed.
+				ent.err = fmt.Errorf("runner: task %#v (seed %#x) panicked: %v\n%s", ent.key, Seed(ent.key), r, debug.Stack())
 			}
 		}()
 		ent.val, ent.err = fn(Seed(ent.key))
 	}()
+	if sr, ok := ent.val.(*supervisedResult); ok {
+		ent.val, ent.attempts = sr.val, sr.attempts
+	}
 	ent.dur = time.Since(start)
 	close(ent.done)
 
@@ -220,7 +255,7 @@ func (e *Engine) run(ent *entry, fn Task) {
 
 	e.cbMu.Lock()
 	if e.onCell != nil {
-		e.onCell(Cell{Key: ent.key, Duration: ent.dur, Err: ent.err})
+		e.onCell(Cell{Key: ent.key, Duration: ent.dur, Err: ent.err, Attempts: ent.attempts})
 	}
 	if e.stream != nil {
 		e.emitStream(ent)
@@ -241,6 +276,7 @@ func (e *Engine) Report() Report {
 		Executed:  e.executed,
 		MemoHits:  e.hits,
 		Errors:    e.errors,
+		Primed:    e.primed,
 		TaskTime:  e.taskTime,
 	}
 	if e.metrics != nil {

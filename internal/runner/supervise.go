@@ -1,0 +1,194 @@
+package runner
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// Per-cell supervision: a wall-clock watchdog per attempt plus bounded retry
+// with exponential backoff and deterministic jitter. Supervision keeps a
+// single hung or panicking configuration from taking down a whole campaign:
+// the watchdog cancels the attempt cooperatively (the simulator polls the
+// cancel flag once per loop iteration), a panic is captured per attempt, and
+// the cell either succeeds on a later attempt or fails with a report naming
+// every attempt's error.
+//
+// Backoff jitter is seeded from (cell seed, attempt number) — never from
+// wall-clock time or a global RNG — so a rerun of the same campaign sleeps
+// the same schedule and the engine's determinism contract holds.
+
+// Supervision configures per-cell supervision for DoSupervised.
+type Supervision struct {
+	// Timeout is the wall-clock watchdog per attempt; when it expires the
+	// attempt's cancel flag flips and the attempt is reported as timed out.
+	// 0 disables the watchdog.
+	Timeout time.Duration
+
+	// Retries is the number of additional attempts after a failure
+	// (0 = fail on the first error).
+	Retries int
+
+	// Backoff is the base delay before retry k: Backoff << (k-1), plus a
+	// deterministic jitter in [0, delay/2], capped at BackoffCap.
+	// 0 retries immediately.
+	Backoff time.Duration
+}
+
+// BackoffCap bounds the exponential backoff delay (pre-jitter).
+const BackoffCap = time.Minute
+
+// Attempt is the supervision context handed to one execution attempt.
+type Attempt struct {
+	// N is the 1-based attempt number.
+	N int
+
+	canceled atomic.Bool
+}
+
+// Canceled reports whether the watchdog expired this attempt. Safe from any
+// goroutine; the simulator's Config.Cancel polls it.
+func (a *Attempt) Canceled() bool { return a.canceled.Load() }
+
+// SupervisedTask computes one cell under supervision. It must poll
+// att.Canceled (directly or via the simulator's cancel hook) and return
+// promptly once it flips.
+type SupervisedTask func(seed uint64, att *Attempt) (any, error)
+
+// supervisedResult carries the attempt count alongside the value; Engine.run
+// unwraps it into the entry.
+type supervisedResult struct {
+	val      any
+	attempts int
+}
+
+// SetSupervision installs the engine's supervision policy for subsequent
+// DoSupervised calls. The zero value (the default) runs one attempt with no
+// watchdog.
+func (e *Engine) SetSupervision(s Supervision) {
+	e.cbMu.Lock()
+	e.sup = s
+	e.cbMu.Unlock()
+}
+
+// SetAttemptHook installs a callback fired after every failed supervised
+// attempt, before its backoff sleep: the cell key, the 1-based attempt
+// number, the attempt's error, and the backoff about to be slept (0 when the
+// cell is out of retries). Campaign journals record these so an interrupted
+// sweep knows which cells were retried and why. Calls are serialized per
+// cell but may arrive concurrently from different cells.
+func (e *Engine) SetAttemptHook(fn func(key any, attempt int, err error, backoff time.Duration)) {
+	e.cbMu.Lock()
+	e.attemptHook = fn
+	e.cbMu.Unlock()
+}
+
+// supervision returns the current policy (engine-internal).
+func (e *Engine) supervision() Supervision {
+	e.cbMu.Lock()
+	defer e.cbMu.Unlock()
+	return e.sup
+}
+
+func (e *Engine) fireAttemptHook(key any, attempt int, err error, backoff time.Duration) {
+	e.cbMu.Lock()
+	fn := e.attemptHook
+	e.cbMu.Unlock()
+	if fn != nil {
+		fn(key, attempt, err, backoff)
+	}
+}
+
+// backoffFor returns the pre-retry delay for the given attempt: exponential
+// in the attempt number with a deterministic jitter derived from the cell
+// seed, so identical campaigns sleep identical schedules.
+func backoffFor(base time.Duration, seed uint64, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < BackoffCap; i++ {
+		d *= 2
+	}
+	if d > BackoffCap {
+		d = BackoffCap
+	}
+	// splitmix64-style finalizer over (seed, attempt): uniform enough to
+	// decorrelate cells, fully deterministic.
+	h := seed + uint64(attempt)*0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return d + time.Duration(h%uint64(d/2+1))
+}
+
+// runAttempt executes one attempt with its own panic capture, so a panicking
+// configuration is retried like any other failure.
+func runAttempt(fn SupervisedTask, seed uint64, att *Attempt) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("attempt %d panicked: %v\n%s", att.N, r, debug.Stack())
+		}
+	}()
+	return fn(seed, att)
+}
+
+// DoSupervised submits the task for key under the engine's supervision
+// policy: each attempt runs with a fresh Attempt whose cancel flag a
+// watchdog timer flips at Timeout; failed attempts (error, panic, timeout)
+// retry up to Retries times with seeded exponential backoff. Results are
+// memoized exactly like Do; Cell.Attempts reports the attempts consumed.
+func (e *Engine) DoSupervised(key any, fn SupervisedTask) *Handle {
+	return e.Do(key, func(seed uint64) (any, error) {
+		sup := e.supervision()
+		var errs []error
+		for attempt := 1; ; attempt++ {
+			att := &Attempt{N: attempt}
+			var watchdog *time.Timer
+			if sup.Timeout > 0 {
+				watchdog = time.AfterFunc(sup.Timeout, func() { att.canceled.Store(true) })
+			}
+			val, err := runAttempt(fn, seed, att)
+			if watchdog != nil {
+				watchdog.Stop()
+			}
+			if err == nil {
+				return &supervisedResult{val: val, attempts: attempt}, nil
+			}
+			if att.Canceled() {
+				err = fmt.Errorf("attempt %d timed out after %v: %w", attempt, sup.Timeout, err)
+			}
+			errs = append(errs, err)
+			if attempt > sup.Retries {
+				e.fireAttemptHook(key, attempt, err, 0)
+				return &supervisedResult{attempts: attempt},
+					fmt.Errorf("runner: cell %#v (seed %#x) failed after %d attempt(s): %w", key, seed, attempt, joinErrors(errs))
+			}
+			delay := backoffFor(sup.Backoff, seed, attempt)
+			e.fireAttemptHook(key, attempt, err, delay)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+		}
+	})
+}
+
+// joinErrors folds the attempt errors into one, keeping the last error as
+// the unwrap target (it is usually the most informative: later attempts fail
+// the same way or worse).
+func joinErrors(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	msg := ""
+	for i, err := range errs[:len(errs)-1] {
+		if i > 0 {
+			msg += "; "
+		}
+		msg += err.Error()
+	}
+	return fmt.Errorf("%s; %w", msg, errs[len(errs)-1])
+}

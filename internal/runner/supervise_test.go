@@ -1,0 +1,273 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSupervisedRetrySuccess: a cell failing its first attempts succeeds on a
+// later one, consuming exactly the attempts it needed.
+func TestSupervisedRetrySuccess(t *testing.T) {
+	e := New(1)
+	e.SetSupervision(Supervision{Retries: 3, Backoff: time.Microsecond})
+
+	var cells []Cell
+	e.SetProgress(func(c Cell) { cells = append(cells, c) })
+	var hooks []int
+	e.SetAttemptHook(func(key any, attempt int, err error, backoff time.Duration) {
+		hooks = append(hooks, attempt)
+		if backoff <= 0 {
+			t.Errorf("attempt %d: want positive backoff before retry, got %v", attempt, backoff)
+		}
+	})
+
+	calls := 0
+	h := e.DoSupervised("cell", func(seed uint64, att *Attempt) (any, error) {
+		calls++
+		if att.N != calls {
+			t.Errorf("attempt number %d, want %d", att.N, calls)
+		}
+		if calls < 3 {
+			return nil, fmt.Errorf("transient failure %d", calls)
+		}
+		return "done", nil
+	})
+	v, err := h.Wait()
+	if err != nil {
+		t.Fatalf("supervised cell failed: %v", err)
+	}
+	if v != "done" {
+		t.Fatalf("value = %v, want done", v)
+	}
+	if calls != 3 {
+		t.Fatalf("task ran %d times, want 3", calls)
+	}
+	if len(cells) != 1 || cells[0].Attempts != 3 {
+		t.Fatalf("progress cells = %+v, want one cell with Attempts=3", cells)
+	}
+	if len(hooks) != 2 || hooks[0] != 1 || hooks[1] != 2 {
+		t.Fatalf("attempt hooks fired for %v, want [1 2]", hooks)
+	}
+}
+
+// TestSupervisedTimeout: the watchdog flips the attempt's cancel flag; a task
+// polling it returns, is reported as timed out, and the retry succeeds.
+func TestSupervisedTimeout(t *testing.T) {
+	e := New(1)
+	e.SetSupervision(Supervision{Timeout: 20 * time.Millisecond, Retries: 1})
+
+	var hookErr error
+	e.SetAttemptHook(func(key any, attempt int, err error, backoff time.Duration) { hookErr = err })
+
+	h := e.DoSupervised("hang", func(seed uint64, att *Attempt) (any, error) {
+		if att.N == 1 {
+			for !att.Canceled() {
+				time.Sleep(time.Millisecond)
+			}
+			return nil, errors.New("canceled by watchdog")
+		}
+		return "recovered", nil
+	})
+	v, err := h.Wait()
+	if err != nil {
+		t.Fatalf("cell failed: %v", err)
+	}
+	if v != "recovered" {
+		t.Fatalf("value = %v, want recovered", v)
+	}
+	if hookErr == nil || !strings.Contains(hookErr.Error(), "timed out") {
+		t.Fatalf("attempt hook error = %v, want a timeout report", hookErr)
+	}
+}
+
+// TestSupervisedExhausted: a cell out of retries fails with a report naming
+// the cell, its seed, the attempt count and every attempt's error; the final
+// hook call carries backoff 0.
+func TestSupervisedExhausted(t *testing.T) {
+	e := New(1)
+	e.SetSupervision(Supervision{Retries: 2})
+
+	var finalBackoff = time.Duration(-1)
+	var lastAttempt int
+	e.SetAttemptHook(func(key any, attempt int, err error, backoff time.Duration) {
+		lastAttempt, finalBackoff = attempt, backoff
+	})
+	var cells []Cell
+	e.SetProgress(func(c Cell) { cells = append(cells, c) })
+
+	h := e.DoSupervised("doomed", func(seed uint64, att *Attempt) (any, error) {
+		return nil, fmt.Errorf("broken on attempt %d", att.N)
+	})
+	_, err := h.Wait()
+	if err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		`"doomed"`,
+		fmt.Sprintf("%#x", Seed("doomed")),
+		"failed after 3 attempt(s)",
+		"broken on attempt 1",
+		"broken on attempt 3",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if lastAttempt != 3 || finalBackoff != 0 {
+		t.Fatalf("final hook = (attempt %d, backoff %v), want (3, 0)", lastAttempt, finalBackoff)
+	}
+	if len(cells) != 1 || cells[0].Attempts != 3 || cells[0].Err == nil {
+		t.Fatalf("progress cells = %+v, want one failed cell with Attempts=3", cells)
+	}
+	if rep := e.Report(); rep.Errors != 1 {
+		t.Fatalf("Report.Errors = %d, want 1", rep.Errors)
+	}
+}
+
+// TestSupervisedPanicRetried: a panicking attempt is captured and retried
+// like any other failure instead of killing the sweep.
+func TestSupervisedPanicRetried(t *testing.T) {
+	e := New(1)
+	e.SetSupervision(Supervision{Retries: 1})
+	h := e.DoSupervised("flaky", func(seed uint64, att *Attempt) (any, error) {
+		if att.N == 1 {
+			panic("first attempt explodes")
+		}
+		return 42, nil
+	})
+	v, err := h.Wait()
+	if err != nil {
+		t.Fatalf("cell failed: %v", err)
+	}
+	if v != 42 {
+		t.Fatalf("value = %v, want 42", v)
+	}
+}
+
+// TestSupervisedZeroPolicy: the zero Supervision runs exactly one attempt
+// with no watchdog — DoSupervised degrades to Do.
+func TestSupervisedZeroPolicy(t *testing.T) {
+	e := New(1)
+	calls := 0
+	h := e.DoSupervised("once", func(seed uint64, att *Attempt) (any, error) {
+		calls++
+		return nil, errors.New("no retry expected")
+	})
+	if _, err := h.Wait(); err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 1 {
+		t.Fatalf("task ran %d times, want 1", calls)
+	}
+}
+
+// TestSupervisedSeedStable: the seed handed to a supervised task equals
+// Seed(key) — supervision must not perturb the determinism contract.
+func TestSupervisedSeedStable(t *testing.T) {
+	e := New(1)
+	var got uint64
+	h := e.DoSupervised("seeded", func(seed uint64, att *Attempt) (any, error) {
+		got = seed
+		return nil, nil
+	})
+	h.Wait()
+	if want := Seed("seeded"); got != want {
+		t.Fatalf("seed = %#x, want %#x", got, want)
+	}
+}
+
+// TestBackoffDeterministic: the schedule is a pure function of (base, seed,
+// attempt), doubles per attempt, stays within [d, d+d/2] of the pre-jitter
+// delay and saturates at BackoffCap.
+func TestBackoffDeterministic(t *testing.T) {
+	base := 10 * time.Millisecond
+	for attempt := 1; attempt <= 6; attempt++ {
+		a := backoffFor(base, 0xdead, attempt)
+		b := backoffFor(base, 0xdead, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: backoff not deterministic (%v vs %v)", attempt, a, b)
+		}
+		d := base << (attempt - 1)
+		if d > BackoffCap {
+			d = BackoffCap
+		}
+		if a < d || a > d+d/2 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, a, d, d+d/2)
+		}
+	}
+	if a := backoffFor(base, 1, 1); a == backoffFor(base, 2, 1) {
+		t.Fatal("different seeds produced identical jitter (suspicious)")
+	}
+	if got := backoffFor(0, 5, 3); got != 0 {
+		t.Fatalf("zero base must disable backoff, got %v", got)
+	}
+	if got := backoffFor(time.Hour, 5, 8); got > BackoffCap+BackoffCap/2 {
+		t.Fatalf("backoff %v exceeds jittered cap", got)
+	}
+}
+
+// TestPrimeMemo: primed cells are served from the memo without executing, and
+// the report distinguishes them.
+func TestPrimeMemo(t *testing.T) {
+	e := New(2)
+	if !e.Prime("warm", "cached-value") {
+		t.Fatal("Prime returned false for a fresh key")
+	}
+	if e.Prime("warm", "other") {
+		t.Fatal("Prime must refuse an existing key")
+	}
+	ran := false
+	h := e.Do("warm", func(uint64) (any, error) { ran = true; return nil, nil })
+	v, err := h.Wait()
+	if err != nil || v != "cached-value" {
+		t.Fatalf("primed cell = (%v, %v), want (cached-value, nil)", v, err)
+	}
+	if ran {
+		t.Fatal("primed cell executed its task")
+	}
+	e.Wait()
+	rep := e.Report()
+	if rep.Primed != 1 || rep.MemoHits != 1 || rep.Executed != 0 {
+		t.Fatalf("report = %+v, want Primed=1 MemoHits=1 Executed=0", rep)
+	}
+}
+
+// TestSupervisedConcurrentCells: supervision and hooks are safe under a
+// parallel pool (exercised further by -race).
+func TestSupervisedConcurrentCells(t *testing.T) {
+	e := New(4)
+	e.SetSupervision(Supervision{Retries: 1})
+	var mu sync.Mutex
+	hooks := 0
+	e.SetAttemptHook(func(any, int, error, time.Duration) {
+		mu.Lock()
+		hooks++
+		mu.Unlock()
+	})
+	var hs []*Handle
+	for i := 0; i < 16; i++ {
+		i := i
+		hs = append(hs, e.DoSupervised(i, func(seed uint64, att *Attempt) (any, error) {
+			if i%2 == 0 && att.N == 1 {
+				return nil, errors.New("retry me")
+			}
+			return i, nil
+		}))
+	}
+	for i, h := range hs {
+		v, err := h.Wait()
+		if err != nil || v != i {
+			t.Fatalf("cell %d = (%v, %v)", i, v, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks != 8 {
+		t.Fatalf("attempt hooks = %d, want 8", hooks)
+	}
+}

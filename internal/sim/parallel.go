@@ -237,6 +237,10 @@ func (pr *parRunner) run(name string, maxCycles uint64) (uint64, error) {
 		if t > maxCycles {
 			return 0, fmt.Errorf("%w at cycle %d (%s)", ErrDeadlock, maxCycles+1, name)
 		}
+		pr.s.pollCancel()
+		if pr.s.stopReason != "" {
+			return 0, fmt.Errorf("%w: %s (%s)", ErrStopped, pr.s.stopReason, name)
+		}
 		// Stretch the epoch: no shard has an event before wake, so deferred
 		// sends can only happen at cycles >= wake and end = wake+W keeps
 		// every delivery deadline at or beyond the next barrier.

@@ -81,6 +81,11 @@ func (s *System) runSampled(name string, maxCycles uint64) (*Result, error) {
 	if err := s.sampleable(); err != nil {
 		return nil, err
 	}
+	if s.cfg.CheckpointSink != nil || s.resumedSample != nil {
+		if err := s.checkpointable(); err != nil {
+			return nil, err
+		}
+	}
 	spec := s.cfg.Sample
 	st := s.stats
 	warmer := coherence.NewWarmer(s.cfg.Params, s.cfg.Mode, s.l1s, s.dirs, s.mem)
@@ -95,6 +100,19 @@ func (s *System) runSampled(name string, maxCycles uint64) (*Result, error) {
 	var cycEst sample.Estimator
 	ests := make([]sample.Estimator, len(sampledTimingIDs))
 	snap := make([]uint64, len(sampledTimingIDs))
+
+	// A restored sampled run re-seeds its estimators from the checkpoint so
+	// the whole-run estimates match the uninterrupted run's exactly.
+	if rs := s.resumedSample; rs != nil {
+		cycEst.SetState(rs.CycWindows)
+		for i := range ests {
+			ests[i].SetState(rs.Ests[i])
+		}
+	}
+	// Sampled runs checkpoint at existing post-warming boundaries (the
+	// machine is already drained there), so snapshotting perturbs nothing;
+	// CheckpointEvery only rate-limits which boundaries get one.
+	lastCkpt := st.GetID(stats.IDL1DAccesses)
 
 	for {
 		// Detailed window: the ordinary timed loop, until the access budget
@@ -111,6 +129,7 @@ func (s *System) runSampled(name string, maxCycles uint64) (*Result, error) {
 				return nil, fmt.Errorf("%w at cycle %d (%s)", ErrDeadlock, s.cycle, name)
 			}
 			s.stepCycle()
+			s.pollCancel()
 			if s.stopReason != "" {
 				return nil, fmt.Errorf("%w: %s at cycle %d (%s)", ErrStopped, s.stopReason, s.cycle, name)
 			}
@@ -132,6 +151,7 @@ func (s *System) runSampled(name string, maxCycles uint64) (*Result, error) {
 				return nil, fmt.Errorf("%w at cycle %d (%s, draining)", ErrDeadlock, s.cycle, name)
 			}
 			s.stepCycle()
+			s.pollCancel()
 			if s.stopReason != "" {
 				return nil, fmt.Errorf("%w: %s at cycle %d (%s)", ErrStopped, s.stopReason, s.cycle, name)
 			}
@@ -187,12 +207,28 @@ func (s *System) runSampled(name string, maxCycles uint64) (*Result, error) {
 			s.cycle++
 			warmer.SetNow(s.cycle)
 			warmer.DrainForcedTerminations()
+			s.pollCancel()
+			if s.stopReason != "" {
+				return nil, fmt.Errorf("%w: %s at cycle %d (%s)", ErrStopped, s.stopReason, s.cycle, name)
+			}
 			if !progress {
 				break
 			}
 		}
 		if s.boundaryHook != nil {
 			s.boundaryHook(s.cycle)
+		}
+		// Post-warming boundary: the machine is drained (warming is purely
+		// functional), so this is a free checkpoint point.
+		if s.cfg.CheckpointSink != nil && st.GetID(stats.IDL1DAccesses)-lastCkpt >= s.cfg.CheckpointEvery {
+			smp := &SampleState{CycWindows: cycEst.State()}
+			for i := range ests {
+				smp.Ests = append(smp.Ests, ests[i].State())
+			}
+			if err := s.emitCheckpoint(name, smp); err != nil {
+				return nil, err
+			}
+			lastCkpt = st.GetID(stats.IDL1DAccesses)
 		}
 		for _, c := range cores {
 			c.HoldIssue(false)

@@ -103,6 +103,29 @@ type Config struct {
 	// other counters accrue exactly. Requires the in-order two-level inclusive
 	// machine with no observers (see sampled.go for the full gating).
 	Sample sample.Spec
+
+	// CheckpointEvery enables periodic checkpointing: for detailed runs, a
+	// drain boundary every N committed L1D accesses; for sampled runs, a
+	// snapshot at the first existing window boundary after N accesses (no
+	// extra drains). 0 disables. The cadence is part of the run's semantics:
+	// drains perturb timing, so byte-equality is defined per cadence (see
+	// checkpoint.go). Requires the same machine shape as sampling plus no
+	// oracles/observers/faults/obs/forensics.
+	CheckpointEvery uint64
+
+	// CheckpointSink receives the machine state at each checkpoint boundary.
+	// A sink error aborts the run with ErrStopped. Nil with CheckpointEvery
+	// set keeps the boundaries (cadence semantics) without snapshotting —
+	// how a resumed run that no longer writes checkpoints stays
+	// byte-identical to its donor.
+	CheckpointSink func(*MachineState) error
+
+	// Cancel, when non-nil, is polled roughly once per loop iteration in
+	// every engine; when it returns true the run aborts with ErrStopped.
+	// Unlike RequestStop it may be flipped from another goroutine (the
+	// runner's watchdog) as long as the func itself is race-free (e.g. an
+	// atomic load).
+	Cancel func() bool
 }
 
 // DefaultConfig returns a Table II system in the given protocol mode with
@@ -168,7 +191,12 @@ type System struct {
 	cycle  uint64
 
 	dirPolicies []*core.DirSide
+	pams        []*core.PAM
 	swmrBad     []string
+
+	// resumedSample, set by Restore on a sampled checkpoint, carries the
+	// estimator state runSampled re-seeds before its loop.
+	resumedSample *SampleState
 
 	// tracer / metrics are the unified observability attachments (nil when
 	// cfg.Obs is nil or lacks the corresponding half).
@@ -339,7 +367,9 @@ func New(cfg Config, wl Workload) *System {
 		if cfg.Mode != coherence.Baseline {
 			ccl := cc
 			ccl.Now = nowFor(k)
-			pol = core.NewPAM(ccl, i, statsFor(k))
+			pam := core.NewPAM(ccl, i, statsFor(k))
+			s.pams = append(s.pams, pam)
+			pol = pam
 		}
 		l1 := coherence.NewL1(i, p, cfg.Mode, netFor(k), pol, statsFor(k), nil)
 		if cfg.MSHRs > 1 {
@@ -388,7 +418,28 @@ func New(cfg Config, wl Workload) *System {
 	if s.par != nil {
 		s.par.bind()
 	}
+	// Checkpointing needs the result log armed from the very first committed
+	// operation so threads can be replayed at any later snapshot (and so a
+	// restored thread's re-seeded log keeps growing). Arming is free on the
+	// shapes that can't checkpoint anyway (gated again at run time).
+	if cfg.CheckpointEvery > 0 && !cfg.OOO && s.par == nil {
+		for _, c := range s.cores {
+			if io, ok := c.(*cpu.InOrder); ok {
+				io.SetRecorder(&cpu.OpRecorder{})
+			}
+		}
+	}
 	return s
+}
+
+// Stop terminates every core's thread coroutine. Run does this itself on
+// every exit path; Stop is for callers that abandon an assembled system
+// without running it (e.g. a failed checkpoint restore falling back to a
+// freshly built cold system).
+func (s *System) Stop() {
+	for _, c := range s.cores {
+		c.Stop()
+	}
 }
 
 // Dir returns directory slice i (testing and multi-socket hooks).
@@ -471,6 +522,9 @@ func (s *System) Run(name string) (*Result, error) {
 	if s.cfg.Sample.Enabled() {
 		return s.runSampled(name, maxCycles)
 	}
+	if s.cfg.CheckpointEvery > 0 {
+		return s.runCheckpointed(name, maxCycles)
+	}
 	if s.par != nil {
 		if s.cycleHook != nil || s.observerInstalled {
 			panic("sim: cycle hooks and commit observers are not supported by EngineParallel")
@@ -488,6 +542,7 @@ func (s *System) Run(name string) (*Result, error) {
 				return nil, fmt.Errorf("%w at cycle %d (%s)", ErrDeadlock, s.cycle, name)
 			}
 			s.stepCycle()
+			s.pollCancel()
 			if s.stopReason != "" {
 				return nil, fmt.Errorf("%w: %s at cycle %d (%s)", ErrStopped, s.stopReason, s.cycle, name)
 			}

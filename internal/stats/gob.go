@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+)
+
+// Gob support for checkpointing. Set's internals are unexported (ID-indexed
+// slots plus a long-tail map), so it implements GobEncoder/GobDecoder
+// explicitly. Canonical counters travel by name, not slot index, so a
+// checkpoint survives reordering or insertion of ID constants as long as the
+// names still exist; the long-tail map is flattened to a sorted slice so
+// identical sets encode to identical bytes (checkpoint files stay
+// byte-reproducible).
+
+// setWire is the serialized form of a Set.
+type setWire struct {
+	Canonical []wireCounter
+	Tail      []wireCounter
+}
+
+type wireCounter struct {
+	Name  string
+	Value uint64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s *Set) GobEncode() ([]byte, error) {
+	var w setWire
+	for id := ID(0); id < NumIDs; id++ {
+		if s.present[id] {
+			w.Canonical = append(w.Canonical, wireCounter{Name: idNames[id], Value: s.slots[id]})
+		}
+	}
+	for name, v := range s.counters {
+		w.Tail = append(w.Tail, wireCounter{Name: name, Value: v})
+	}
+	sort.Slice(w.Tail, func(i, j int) bool { return w.Tail[i].Name < w.Tail[j].Name })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder, replacing the set's contents.
+func (s *Set) GobDecode(data []byte) error {
+	var w setWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	s.Reset()
+	for _, c := range w.Canonical {
+		s.Set(c.Name, c.Value)
+	}
+	for _, c := range w.Tail {
+		s.Set(c.Name, c.Value)
+	}
+	return nil
+}
+
+// CopyFrom replaces s's contents with an exact copy of other's (restore
+// path: components hold a pointer to s, so the Set is updated in place).
+func (s *Set) CopyFrom(other *Set) {
+	s.slots = other.slots
+	s.present = other.present
+	s.counters = make(map[string]uint64, len(other.counters))
+	for k, v := range other.counters {
+		s.counters[k] = v
+	}
+}

@@ -1,0 +1,88 @@
+package fscoherence
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// SIGKILL smoke: a real process killed with SIGKILL mid-run — no deferred
+// cleanup, no atexit, the hardest crash short of power loss — must leave a
+// checkpoint a fresh process resumes byte-identically from. The test
+// re-executes its own binary as the victim: the child runs a checkpointing
+// simulation, signals readiness after its second checkpoint and then blocks;
+// the parent SIGKILLs it and finishes the run in-process.
+
+// killResumeOpt is the fixed cell both processes run. Must agree between
+// parent and child (the checkpoint identity hash enforces that it does).
+func killResumeOpt() Options {
+	return Options{Protocol: FSDetect, Scale: testScale}
+}
+
+// TestKillResumeSmoke doubles as parent and victim, selected by environment:
+// with FSCKPT_CHILD set it runs the checkpointing simulation and blocks after
+// two checkpoints; otherwise it spawns itself as the child, SIGKILLs it once
+// ready, and resumes from the orphaned checkpoint.
+func TestKillResumeSmoke(t *testing.T) {
+	if os.Getenv("FSCKPT_CHILD") == "1" {
+		ready := os.Getenv("FSCKPT_READY")
+		_, err := RunControlled("RC", killResumeOpt(), RunControl{
+			CheckpointPath:  os.Getenv("FSCKPT_PATH"),
+			CheckpointEvery: ckptEvery,
+			OnCheckpoint: func(n int) error {
+				if n == 2 {
+					if err := os.WriteFile(ready, nil, 0o644); err != nil {
+						return err
+					}
+					time.Sleep(time.Hour) // hold still for the SIGKILL
+				}
+				return nil
+			},
+		})
+		// Unreachable when the parent kills us; reachable only if the kill
+		// never lands, in which case the run completing is fine too.
+		_ = err
+		return
+	}
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "victim.ckpt")
+	ready := filepath.Join(dir, "ready")
+	cmd := exec.Command(os.Args[0], "-test.run", "TestKillResumeSmoke$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		"FSCKPT_CHILD=1", "FSCKPT_PATH="+ckpt, "FSCKPT_READY="+ready)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawning victim process: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ready); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("victim never reached its second checkpoint")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	cmd.Wait()
+
+	ref, err := RunControlled("RC", killResumeOpt(), RunControl{CheckpointEvery: ckptEvery})
+	if err != nil {
+		t.Fatalf("uninterrupted reference run failed: %v", err)
+	}
+	got, err := RunControlled("RC", killResumeOpt(), RunControl{Resume: ckpt, CheckpointEvery: ckptEvery})
+	if err != nil {
+		t.Fatalf("resuming from the killed process's checkpoint: %v", err)
+	}
+	if len(got.Warnings) > 0 {
+		t.Fatalf("resume from a SIGKILLed process degraded: %v", got.Warnings)
+	}
+	requireByteIdentical(t, ref, got)
+}

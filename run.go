@@ -181,6 +181,11 @@ type Result struct {
 	// (Options.Sample): per-metric estimates with 95% confidence intervals,
 	// window counts and detail coverage. Nil for fully-timed runs.
 	Sampled *SampledRun
+
+	// Warnings reports non-fatal degradations of a crash-resilient run
+	// (RunControlled): an engine fallback for checkpointing, or a rejected
+	// checkpoint that forced a cold start.
+	Warnings []string
 }
 
 // SampledRun re-exports the sampling estimation report.
@@ -347,24 +352,12 @@ func buildConfig(opt Options) sim.Config {
 // global source). The Runner engine relies on both properties for its
 // memoization and parallel fan-out; `go test -race ./...` guards them.
 func Run(bench string, opt Options) (*Result, error) {
-	spec, err := workload.ByName(bench)
-	if err != nil {
-		return nil, err
-	}
-	if err := validateMachine(opt); err != nil {
-		return nil, err
-	}
-	if opt.Scale == 0 {
-		opt.Scale = 1
-	}
-	threads, regions, gt := spec.BuildLabeled(opt.Variant, workload.Scale(opt.Scale), opt.Cores)
-	cfg := buildConfig(opt)
-	system := sim.New(cfg, sim.Workload{Name: bench, Threads: threads, ReductionRegions: regions})
-	res, err := system.Run(bench)
-	if err != nil {
-		return nil, fmt.Errorf("run %s under %v: %w", bench, opt.Protocol, err)
-	}
+	return RunControlled(bench, opt, RunControl{})
+}
 
+// assembleResult folds a finished simulation into the public Result (shared
+// by Run and RunControlled).
+func assembleResult(bench string, opt Options, gt *forensics.GroundTruth, res *sim.Result) *Result {
 	out := &Result{
 		Benchmark:    bench,
 		Protocol:     opt.Protocol,
@@ -382,7 +375,7 @@ func Run(bench string, opt Options) (*Result, error) {
 	out.Energy = energy.Default().Compute(res.Stats, opt.Protocol != Baseline).Total()
 	out.Violations = append(out.Violations, res.OracleViolations...)
 	out.Violations = append(out.Violations, res.SWMRViolations...)
-	return out, nil
+	return out
 }
 
 // BenchmarkInfo describes a registered workload model (Table III).

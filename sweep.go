@@ -26,15 +26,18 @@ import (
 // NewRunner(1) executes cells inline in submission order, reproducing the
 // historical serial harness exactly.
 type Runner struct {
-	eng      *runner.Engine
-	engine   string
-	cores    int
-	topology string
-	shards   int
-	sample   string
+	eng       *runner.Engine
+	engine    string
+	cores     int
+	topology  string
+	shards    int
+	sample    string
+	ckptDir   string
+	ckptEvery uint64
 
 	mu      sync.Mutex
 	sampled []*Result
+	journal *Journal
 }
 
 // cellKey identifies one simulation cell. Options contains only comparable
@@ -108,6 +111,39 @@ func (r *Runner) SetMachine(cores int, topology string, shards int) {
 	r.cores, r.topology, r.shards = cores, topology, shards
 }
 
+// SetSupervision installs the per-cell supervision policy: a wall-clock
+// watchdog per attempt (0 disables it), bounded retry after a failed attempt
+// (error, panic or timeout), and a base backoff doubled per retry with
+// deterministic jitter. cmd/fsexp's -timeout/-retries/-backoff flags use it
+// so one hung or crashing configuration cannot take down a campaign.
+func (r *Runner) SetSupervision(timeout time.Duration, retries int, backoff time.Duration) {
+	r.eng.SetSupervision(runner.Supervision{Timeout: timeout, Retries: retries, Backoff: backoff})
+}
+
+// SetCheckpointDir enables the warm-state cache for submitted cells:
+// checkpoint-compatible cells periodically snapshot into dir (cadence every
+// committed L1D accesses; 0 picks DefaultCheckpointEvery) and automatically
+// resume from a valid snapshot of their own identity, so a rerun after a
+// crash — or a retry after a timeout — picks up mid-run instead of cold.
+// Cells whose options cannot checkpoint (OOO, Verify, Obs, Forensics,
+// private L2s, non-inclusive LLC) run normally without snapshots.
+func (r *Runner) SetCheckpointDir(dir string, every uint64) {
+	r.ckptDir, r.ckptEvery = dir, every
+}
+
+// cellCheckpointFile names the warm-state cache file a cell checkpoints
+// into, or "" when the cell does not checkpoint.
+func (r *Runner) cellCheckpointFile(bench string, opt Options) string {
+	if r.ckptDir == "" || !CheckpointCompatible(opt) {
+		return ""
+	}
+	every := r.ckptEvery
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+	return cacheFilePath(r.ckptDir, bench, checkpointIdentity(bench, opt, every))
+}
+
 // SetProgress installs a per-cell completion callback (timing report).
 // Calls are serialized by the engine.
 func (r *Runner) SetProgress(fn func(bench string, opt Options, d time.Duration, err error)) {
@@ -158,14 +194,33 @@ func (r *Runner) Submit(bench string, opt Options) *Future {
 		opt.Sample = r.sample
 	}
 	key := cellKey{Bench: bench, Opt: opt}
-	h := r.eng.Do(key, func(uint64) (any, error) {
-		res, err := Run(bench, opt)
-		if err == nil && res.Sampled != nil {
-			r.mu.Lock()
-			r.sampled = append(r.sampled, res)
-			r.mu.Unlock()
+	h := r.eng.DoSupervised(key, func(seed uint64, att *runner.Attempt) (any, error) {
+		ctl := RunControl{Cancel: att.Canceled}
+		if r.ckptDir != "" && CheckpointCompatible(opt) {
+			ctl.CacheDir = r.ckptDir
+			ctl.CheckpointEvery = r.ckptEvery
 		}
-		return res, err
+		res, err := RunControlled(bench, opt, ctl)
+		if err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		if res.Sampled != nil {
+			r.sampled = append(r.sampled, res)
+		}
+		j := r.journal
+		r.mu.Unlock()
+		if j != nil && journalEligible(opt) {
+			j.record(JournalEntry{
+				Status:     JournalOK,
+				Bench:      bench,
+				Opt:        opt,
+				Seed:       seed,
+				Checkpoint: r.cellCheckpointFile(bench, opt),
+				Result:     wireResult(res),
+			})
+		}
+		return res, nil
 	})
 	return &Future{bench: bench, opt: opt, h: h}
 }
