@@ -4,8 +4,12 @@
 #                  race detector over every package, the cross-engine
 #                  equivalence suite (skip vs naive must be byte-identical),
 #                  and a zero-alloc smoke run of the network hot path.
-#   make check   — static gate only: gofmt -l must be clean, then go vet and
-#                  the unit tests.
+#   make check   — static gate only: gofmt -l must be clean, PROTOCOL.md's
+#                  generated region must match internal/coherence/spec, the
+#                  spec package must godoc cleanly, then go vet and the unit
+#                  tests.
+#   make specdocs — regenerate PROTOCOL.md §§2–4 from internal/coherence/spec
+#                  (run after editing the protocol tables).
 #   make test    — build + unit tests only (fast inner loop).
 #   make race    — race-detector pass only.
 #   make equiv   — cross-engine equivalence tests only.
@@ -29,7 +33,8 @@
 #                  SIGKILL-mid-run smoke test under -race.
 #   make sweep   — regenerate the paper's tables with the parallel engine.
 #   make fuzzsmoke — CI-sized protocol fuzzing: a fixed 60-seed corpus across
-#                  all three protocols under fault injection, plus the oracle
+#                  the three default protocols under fault injection, a
+#                  20-seed cell for the opt-in hybrid backend, plus the oracle
 #                  selfcheck (seeded bugs must be caught and shrunk). ~30s.
 #   make fuzz    — full fuzzing campaign (SEEDS=200 by default); not tier-1.
 
@@ -37,11 +42,22 @@ GO ?= go
 GOFMT ?= gofmt
 SEEDS ?= 200
 
-.PHONY: ci check fmt test race equiv allocsmoke samplecheck ckptcheck bench benchdiff sweep fuzz fuzzsmoke
+.PHONY: ci check fmt test race equiv allocsmoke samplecheck ckptcheck bench benchdiff sweep fuzz fuzzsmoke specdocs speccheck
 
 ci: check race equiv allocsmoke samplecheck ckptcheck fuzzsmoke benchdiff
 
-check: fmt test
+check: fmt speccheck test
+
+# Rewrite the generated region of PROTOCOL.md (§§2–4) from the protocol
+# tables in internal/coherence/spec.
+specdocs:
+	$(GO) run ./cmd/fsspec -w
+
+# Fail if the committed PROTOCOL.md drifted from the spec tables, and smoke
+# the spec package's godoc (a parse failure here breaks `go doc`).
+speccheck:
+	$(GO) run ./cmd/fsspec -check
+	@$(GO) doc ./internal/coherence/spec >/dev/null
 
 # gofmt -l prints unformatted files; any output fails the gate.
 fmt:
@@ -61,7 +77,9 @@ race:
 	$(GO) test -race ./...
 
 # Cross-engine determinism: every workload x protocol under both engines,
-# plus golden-trace and figure-table byte-equality (engine_test.go).
+# plus golden-trace and figure-table byte-equality, plus the table-driven
+# interpreter vs hand-written switch dispatch equivalence across
+# {naive,skip,parallel} x {flat,mesh} (engine_test.go).
 equiv:
 	$(GO) test -run 'TestEngine' -count=1 .
 
@@ -102,9 +120,12 @@ sweep:
 	$(GO) run ./cmd/fsexp -all
 
 # Fixed corpus + oracle selfcheck: deterministic, so a failure here is a real
-# regression, never flake. EXPERIMENTS.md §"Protocol fuzzing".
+# regression, never flake. The hybrid cell fuzzes the opt-in update-push
+# backend, which the default three-protocol sweep leaves out.
+# EXPERIMENTS.md §"Protocol fuzzing".
 fuzzsmoke:
 	$(GO) run ./cmd/fsfuzz -seeds 60
+	$(GO) run ./cmd/fsfuzz -protocol hybrid -seeds 20
 	$(GO) run ./cmd/fsfuzz -selfcheck
 
 fuzz:

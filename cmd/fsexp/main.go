@@ -302,6 +302,8 @@ func traceCell(eng *fscoherence.Runner, bench, protocol string, scale float64, t
 		p = fscoherence.FSDetect
 	case "fslite", "lite":
 		p = fscoherence.FSLite
+	case "hybrid":
+		p = fscoherence.Hybrid
 	default:
 		fmt.Fprintf(os.Stderr, "fsexp: unknown -trace-protocol %q\n", protocol)
 		os.Exit(1)

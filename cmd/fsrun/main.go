@@ -44,7 +44,7 @@ import (
 func main() {
 	var (
 		bench    = flag.String("bench", "RC", "benchmark code (see -list)")
-		protocol = flag.String("protocol", "baseline", "baseline | fsdetect | fslite")
+		protocol = flag.String("protocol", "baseline", "baseline | fsdetect | fslite | hybrid")
 		mode     = flag.String("mode", "", "alias for -protocol")
 		variant  = flag.String("variant", "default", "default | padded | huron")
 		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
@@ -325,6 +325,8 @@ func parseProtocol(s string) (fscoherence.Protocol, error) {
 		return fscoherence.FSDetect, nil
 	case "fslite", "lite":
 		return fscoherence.FSLite, nil
+	case "hybrid":
+		return fscoherence.Hybrid, nil
 	}
 	return 0, fmt.Errorf("unknown protocol %q", s)
 }

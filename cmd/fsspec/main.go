@@ -1,0 +1,86 @@
+// Command fsspec regenerates the generated region of PROTOCOL.md (§§2–4)
+// from the machine-readable protocol tables in internal/coherence/spec.
+//
+// Usage:
+//
+//	fsspec -w           rewrite PROTOCOL.md in place (make specdocs)
+//	fsspec -check       exit 1 if the committed doc differs (make check)
+//	fsspec              print the generated region to stdout
+//
+// On first run against a document without generated-region markers, -w
+// replaces everything from the "## 2. Message table" heading up to (not
+// including) the "## 5." heading and brackets it with the markers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fscoherence/internal/coherence/spec"
+)
+
+func regionBounds(doc string) (start, end int, err error) {
+	if b := strings.Index(doc, spec.BeginMarker); b >= 0 {
+		e := strings.Index(doc, spec.EndMarker)
+		if e < b {
+			return 0, 0, fmt.Errorf("generated-region markers are malformed (END before BEGIN or missing)")
+		}
+		return b, e + len(spec.EndMarker), nil
+	}
+	b := strings.Index(doc, "## 2. Message table")
+	e := strings.Index(doc, "## 5.")
+	if b < 0 || e < b {
+		return 0, 0, fmt.Errorf("PROTOCOL.md has neither markers nor the §2–§5 headings")
+	}
+	return b, e, nil
+}
+
+func regenerate(doc string) (string, error) {
+	b, e, err := regionBounds(doc)
+	if err != nil {
+		return "", err
+	}
+	region := spec.BeginMarker + "\n\n" + spec.Render() + spec.EndMarker
+	suffix := doc[e:]
+	if !strings.HasPrefix(suffix, "\n") {
+		suffix = "\n\n" + suffix // first run: separate the marker from §5
+	}
+	return doc[:b] + region + suffix, nil
+}
+
+func main() {
+	write := flag.Bool("w", false, "rewrite PROTOCOL.md in place")
+	check := flag.Bool("check", false, "exit nonzero if PROTOCOL.md is out of date")
+	path := flag.String("doc", "PROTOCOL.md", "document to regenerate")
+	flag.Parse()
+
+	if !*write && !*check {
+		fmt.Print(spec.Render())
+		return
+	}
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsspec:", err)
+		os.Exit(1)
+	}
+	out, err := regenerate(string(raw))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsspec:", err)
+		os.Exit(1)
+	}
+	if *check {
+		if out != string(raw) {
+			fmt.Fprintf(os.Stderr, "fsspec: %s is out of date with internal/coherence/spec — run `make specdocs`\n", *path)
+			os.Exit(1)
+		}
+		return
+	}
+	if out != string(raw) {
+		if err := os.WriteFile(*path, []byte(out), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fsspec:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package fscoherence
+
+import "testing"
+
+// TestHybridPushesUpdates smoke-tests the hybrid backend end to end on a
+// read-involved false-sharing workload: the directory must push Upd copies,
+// cores must install some of them, and the run must stay clean under the
+// golden-memory oracle and SWMR scanner. uRW (readers racing a writer on one
+// line) is the canonical push-producing workload — write-write ping-pong like
+// RC never returns the line home, so it legitimately pushes nothing.
+func TestHybridPushesUpdates(t *testing.T) {
+	r, err := Run("uRW", Options{Protocol: Hybrid, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("oracle violations under hybrid: %v", r.Violations)
+	}
+	if n := r.Stats.Get("fs.upd_pushes"); n == 0 {
+		t.Error("hybrid run pushed no Upd copies on uRW")
+	}
+	if n := r.Stats.Get("fs.upd_installs"); n == 0 {
+		t.Error("no pushed Upd copy was installed by a core on uRW")
+	}
+	// The update path must not privatize: the hybrid backend repurposes the
+	// policy's repair directive into update mode instead.
+	if n := r.Stats.Get("fs.privatizations"); n != 0 {
+		t.Errorf("hybrid run privatized %d lines; expected 0", n)
+	}
+}
+
+// TestHybridWriteWritePushesNothing pins the backend's defining asymmetry:
+// under pure write-write ping-pong (RC), ownership migrates core-to-core via
+// 3-hop forwards and the flagged line never returns to the directory slice,
+// so no push site ever fires and the hybrid run is cycle-identical to
+// Baseline. Only read-involved sharing benefits from update pushes — the
+// head-to-head experiment in EXPERIMENTS.md documents exactly this split.
+func TestHybridWriteWritePushesNothing(t *testing.T) {
+	base, err := Run("RC", Options{Protocol: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := Run("RC", Options{Protocol: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := hyb.Stats.Get("fs.upd_pushes"); n != 0 {
+		t.Errorf("hybrid pushed %d Upd copies on write-write RC; expected 0", n)
+	}
+	if hyb.Cycles != base.Cycles {
+		t.Errorf("push-free hybrid run should match Baseline on RC: hybrid=%d baseline=%d", hyb.Cycles, base.Cycles)
+	}
+}

@@ -1,0 +1,183 @@
+package coherence
+
+import (
+	"fmt"
+
+	"fscoherence/internal/coherence/spec"
+	"fscoherence/internal/memsys"
+	"fscoherence/internal/network"
+)
+
+// Table-driven message dispatch, built at package init from the protocol
+// tables in internal/coherence/spec. A message is dispatched by (observed
+// state, opcode): legal pairs invoke the handler the spec's transition rows
+// name (the handlers themselves enforce sub-case guards, so dispatch is
+// byte-identical to the hand-written switch), impossible pairs panic with
+// the spec's reason, and opcodes outside the FSM's event list panic like the
+// switch's default arm. The switch is retained behind Params.SwitchDispatch
+// and `make equiv` proves the two identical.
+
+type dispatchEntry struct {
+	legal bool
+	why   string // reason dispatch must panic, when !legal
+}
+
+// Observed-state indices follow the spec FSMs' state declaration order.
+const (
+	numL1Obs  = 10
+	numDirObs = 10
+)
+
+var (
+	l1Actions  [network.NumOps]func(*L1, *network.Msg)
+	l1Legal    [numL1Obs][network.NumOps]dispatchEntry
+	dirActions [network.NumOps]func(*Dir, *network.Msg)
+	dirLegal   [numDirObs][network.NumOps]dispatchEntry
+
+	l1ObsIdx  map[string]int
+	dirObsIdx map[string]int
+)
+
+// obsIdx resolves an observed-state name against the spec's state list. A
+// miss means a controller state exists that the spec tables don't cover —
+// a map lookup would silently alias it to index 0, so fail loudly instead.
+func obsIdx(idx map[string]int, fsm, name string) int {
+	i, ok := idx[name]
+	if !ok {
+		panic(fmt.Sprintf("protocol spec: observed state %s.%s is not in internal/coherence/spec", fsm, name))
+	}
+	return i
+}
+
+func buildDispatch[C any](f *spec.FSM, methods map[string]func(C, *network.Msg),
+	actions *[network.NumOps]func(C, *network.Msg)) (idx map[string]int, legal [][network.NumOps]dispatchEntry) {
+	if err := f.Check(); err != nil {
+		panic(fmt.Sprintf("protocol spec: %v", err))
+	}
+	idx = make(map[string]int, len(f.States))
+	for i, s := range f.States {
+		idx[s.Name] = i
+	}
+	legal = make([][network.NumOps]dispatchEntry, len(f.States))
+	for _, tr := range f.Transitions {
+		fn, ok := methods[tr.Action]
+		if !ok {
+			panic(fmt.Sprintf("protocol spec: %s names unknown action %q for %v", f.Name, tr.Action, tr.Event))
+		}
+		actions[tr.Event] = fn // one action per event; FSM.Check enforced it
+		legal[idx[tr.State]][tr.Event] = dispatchEntry{legal: true}
+	}
+	for _, im := range f.Impossible {
+		legal[idx[im.State]][im.Event] = dispatchEntry{why: im.Why}
+	}
+	return idx, legal
+}
+
+func init() {
+	l1Methods := map[string]func(*L1, *network.Msg){
+		"onData":        (*L1).onData,
+		"onDataPrv":     (*L1).onDataPrv,
+		"onInvAck":      (*L1).onInvAck,
+		"onUpgradeAck":  (*L1).onUpgradeAck,
+		"onUpgradeNack": (*L1).onUpgradeNack,
+		"onUpgAckPrv":   (*L1).onUpgAckPrv,
+		"onAckPrv":      (*L1).onAckPrv,
+		"onFwdGetS":     (*L1).onFwdGetS,
+		"onFwdGetX":     (*L1).onFwdGetX,
+		"onInv":         (*L1).onInv,
+		"onTRPrv":       (*L1).onTRPrv,
+		"onInvPrv":      (*L1).onInvPrv,
+		"onWBAck":       (*L1).onWBAck,
+		"onUpd":         (*L1).onUpd,
+	}
+	var l1leg [][network.NumOps]dispatchEntry
+	l1ObsIdx, l1leg = buildDispatch(spec.L1(), l1Methods, &l1Actions)
+	if len(l1leg) != numL1Obs {
+		panic("spec.L1 state count drifted from numL1Obs")
+	}
+	copy(l1Legal[:], l1leg)
+
+	dirMethods := map[string]func(*Dir, *network.Msg){
+		"handleRequest":  (*Dir).handleRequest,
+		"onWB":           (*Dir).onWB,
+		"onPrvWB":        (*Dir).onPrvWB,
+		"onCtrlWB":       (*Dir).onCtrlWB,
+		"onInvAck":       (*Dir).onInvAck,
+		"onXferOwnerAck": (*Dir).onXferOwnerAck,
+		"onDataToDir":    (*Dir).onDataToDir,
+		"onRepMD":        (*Dir).onRepMD,
+		"onMDPhantom":    (*Dir).onMDPhantom,
+	}
+	var dirleg [][network.NumOps]dispatchEntry
+	dirObsIdx, dirleg = buildDispatch(spec.Dir(), dirMethods, &dirActions)
+	if len(dirleg) != numDirObs {
+		panic("spec.Dir state count drifted from numDirObs")
+	}
+	copy(dirLegal[:], dirleg)
+}
+
+// observedState computes the spec state index governing dispatch for block a:
+// MSHR transaction > resident line (either private level) > WB entry > I.
+func (l *L1) observedState(a memsys.Addr) (int, string) {
+	if tx := l.mshrs[a]; tx != nil {
+		return obsIdx(l1ObsIdx, "L1", tx.state.String()), tx.state.String()
+	}
+	if e := l.peekAny(a); e != nil && e.Payload.state != L1Invalid {
+		return obsIdx(l1ObsIdx, "L1", e.Payload.state.String()), e.Payload.state.String()
+	}
+	if _, ok := l.wb[a]; ok {
+		return l1ObsIdx["WB"], "WB"
+	}
+	return l1ObsIdx["I"], "I"
+}
+
+// observedState computes the spec state index for the slice: absent when no
+// entry exists, the transaction kind when busy, else the stable state.
+func (d *Dir) observedState(a memsys.Addr) (int, string) {
+	e := d.llc.Peek(a) // Peek block-aligns and leaves LRU/stats untouched
+	if e == nil {
+		return dirObsIdx["absent"], "absent"
+	}
+	if tx := e.Payload.txn; tx != nil {
+		return obsIdx(dirObsIdx, "Dir", tx.kind.String()), tx.kind.String()
+	}
+	return obsIdx(dirObsIdx, "Dir", e.Payload.state.String()), e.Payload.state.String()
+}
+
+// handle dispatches one incoming message through the spec tables (or the
+// retained hand-written switch under Params.SwitchDispatch).
+func (l *L1) handle(m *network.Msg) {
+	if l.params.SwitchDispatch {
+		l.handleSwitch(m)
+		return
+	}
+	fn := l1Actions[m.Op]
+	if fn == nil {
+		panic(fmt.Sprintf("l1 %d: unexpected message %v", l.core, m))
+	}
+	idx, name := l.observedState(m.Addr)
+	if ent := l1Legal[idx][m.Op]; !ent.legal {
+		panic(fmt.Sprintf("l1 %d: protocol violation: %v observed in L1.%s (%s): %v",
+			l.core, m.Op, name, ent.why, m))
+	}
+	fn(l, m)
+}
+
+// handle dispatches one incoming message through the spec tables (or the
+// retained hand-written switch under Params.SwitchDispatch).
+func (d *Dir) handle(m *network.Msg) {
+	if d.params.SwitchDispatch {
+		d.handleSwitch(m)
+		return
+	}
+	fn := dirActions[m.Op]
+	if fn == nil {
+		panic(fmt.Sprintf("dir %d: unexpected message %v", d.slice, m))
+	}
+	idx, name := d.observedState(m.Addr)
+	if ent := dirLegal[idx][m.Op]; !ent.legal {
+		panic(fmt.Sprintf("dir %d: protocol violation: %v observed in Dir.%s (%s): %v",
+			d.slice, m.Op, name, ent.why, m))
+	}
+	fn(d, m)
+}

@@ -23,6 +23,11 @@ const (
 	FSDetect
 	// FSLite adds on-the-fly repair through privatization (§V).
 	FSLite
+	// Hybrid repairs by pushing updates instead of privatizing: the
+	// directory remembers the sharers each write invalidates on a flagged
+	// line and refreshes them with Upd copies when the line next returns to
+	// the slice. Exact MESI SWMR is preserved (PROTOCOL.md §4.4).
+	Hybrid
 )
 
 func (p Protocol) String() string {
@@ -33,6 +38,8 @@ func (p Protocol) String() string {
 		return "FSDetect"
 	case FSLite:
 		return "FSLite"
+	case Hybrid:
+		return "Hybrid"
 	}
 	return "Protocol(?)"
 }
@@ -92,6 +99,12 @@ type Params struct {
 	// HopLatency is the per-hop router+link latency for ring/mesh
 	// topologies (0 picks DefaultHopLatency; ignored when flat).
 	HopLatency uint64
+
+	// SwitchDispatch routes controller messages through the retained
+	// hand-written switch instead of the spec-table interpreter
+	// (dispatch.go). The two are proven byte-identical by `make equiv`;
+	// the flag exists for that proof and as an escape hatch.
+	SwitchDispatch bool
 }
 
 // DefaultHopLatency is the per-hop latency used by ring/mesh topologies when

@@ -93,7 +93,8 @@ func (d *DirSide) OnFetchRequest(addr memsys.Addr, core int) (requestMD, privati
 		m.fc++
 	}
 	d.evaluate(addr, m)
-	return d.WantMetadata(addr), m.flagged && d.cfg.Mode == coherence.FSLite
+	repair := d.cfg.Mode == coherence.FSLite || d.cfg.Mode == coherence.Hybrid
+	return d.WantMetadata(addr), m.flagged && repair
 }
 
 // OnInvalidationsSent updates IC (§IV).

@@ -1,0 +1,40 @@
+package fuzz
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDispatchDifferential runs a corpus slice through both message-dispatch
+// paths — the table-driven interpreter built from internal/coherence/spec
+// (the default) and the retained hand-written switches — and demands the same
+// outcome from each: identical cycle counts and, when a fault campaign trips
+// an oracle, the same failure kind. Panic messages may differ between the
+// paths (the interpreter cites the spec's impossibility note), so only the
+// classified kind is compared.
+func TestDispatchDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		for _, proto := range AllProtocols {
+			seed, proto := seed, proto
+			t.Run(fmt.Sprintf("seed%d-%s", seed, proto), func(t *testing.T) {
+				t.Parallel()
+				p := Generate(seed, proto)
+				table := Execute(p, Options{})
+				sw := Execute(p, Options{SwitchDispatch: true})
+				if table.Cycles != sw.Cycles {
+					t.Errorf("cycles diverge: table=%d switch=%d", table.Cycles, sw.Cycles)
+				}
+				tk, sk := "", ""
+				if table.Failure != nil {
+					tk = table.Failure.Kind
+				}
+				if sw.Failure != nil {
+					sk = sw.Failure.Kind
+				}
+				if tk != sk {
+					t.Errorf("failure kind diverges: table=%q switch=%q", tk, sk)
+				}
+			})
+		}
+	}
+}

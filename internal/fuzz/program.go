@@ -156,7 +156,7 @@ type Program struct {
 	// execution depends solely on the fields below).
 	Seed uint64 `json:"seed"`
 
-	// Protocol is "baseline", "fsdetect" or "fslite".
+	// Protocol is "baseline", "fsdetect", "fslite" or "hybrid".
 	Protocol string `json:"protocol"`
 
 	// Hostile shrinks the caches and detection thresholds (tiny L1/LLC/SAM,
@@ -202,6 +202,8 @@ func (p *Program) Mode() (coherence.Protocol, error) {
 		return coherence.FSDetect, nil
 	case "fslite":
 		return coherence.FSLite, nil
+	case "hybrid":
+		return coherence.Hybrid, nil
 	}
 	return 0, fmt.Errorf("fuzz: unknown protocol %q", p.Protocol)
 }

@@ -68,8 +68,16 @@ const (
 	OpPrvWB     // Prv_WB: privatized copy written back for byte merge
 	OpCtrlWB    // Ctrl_WB: dataless response to Inv_PRV when no copy held
 
+	// ---- Hybrid (update push) ----
+
+	OpUpd // Upd: unsolicited S-grant pushed to a former sharer of a falsely-shared line
+
 	opCount
 )
+
+// NumOps is the number of defined opcodes; table-driven dispatch and the
+// protocol spec (internal/coherence/spec) index arrays by Op.
+const NumOps = int(opCount)
 
 var opNames = [...]string{
 	OpGetS: "GetS", OpGetX: "GetX", OpUpgrade: "Upgrade",
@@ -84,6 +92,7 @@ var opNames = [...]string{
 	OpGetCHK: "GetCHK", OpGetXCHK: "GetXCHK",
 	OpAckPrv: "Ack_PRV", OpUpgAckPrv: "UPG_Ack_PRV",
 	OpInvPrv: "Inv_PRV", OpPrvWB: "Prv_WB", OpCtrlWB: "Ctrl_WB",
+	OpUpd: "Upd",
 }
 
 func (o Op) String() string {
@@ -135,6 +144,12 @@ const (
 
 // SizeOf returns the wire size of a message with opcode op and block size bs.
 func SizeOf(op Op, blockSize int) int {
+	if op == OpUpd {
+		// Upd carries a block copy but rides the control channel: a pushed
+		// update must stay FIFO-ordered behind the Inv that preceded it on
+		// the same dir -> core channel (see PROTOCOL.md §2).
+		return HeaderBytes + blockSize
+	}
 	switch ClassOf(op) {
 	case ClassData:
 		return HeaderBytes + blockSize
